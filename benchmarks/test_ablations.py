@@ -1,0 +1,114 @@
+"""Ablation benches for design choices DESIGN.md calls out.
+
+Not paper figures -- these quantify the modeling decisions the case
+studies rest on:
+
+* **Sensor propagation latency vs a zero-latency oracle** -- how much
+  of case study A's effect comes purely from the sensing delay.
+* **VC-scheduler arbitration policy** -- round robin vs age-based at
+  the VC allocation stage (the parking-lot repair, §IV-B).
+* **Injection process** -- Bernoulli vs periodic arrivals: burstiness
+  inflates the latency tail at equal mean load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import latent_congestion_config
+from tests.conftest import run_config, small_torus_config
+
+from .conftest import run_sim
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sensing_delay_is_the_cause(benchmark):
+    """Case study A with a 1-tick sensor vs a long-latency sensor,
+    everything else identical: the throughput gap is attributable to
+    information staleness alone."""
+
+    def sweep():
+        accepted = {}
+        for sense in (1, 32):
+            config = latent_congestion_config(
+                congestion_latency=sense, output_queue_depth=64,
+                injection_rate=0.85, half_radix=4, warmup=1500, window=3000)
+            config["network"]["num_levels"] = 2
+            accepted[sense] = run_sim(config, max_time=25_000).accepted_load()
+        return accepted
+
+    accepted = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nablation(sensing delay): fresh={accepted[1]:.3f} "
+          f"stale={accepted[32]:.3f}")
+    assert accepted[1] > accepted[32]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_vc_scheduler_policy(benchmark):
+    """Parking-lot bandwidth shares under round-robin vs age-based VC
+    allocation."""
+
+    def fairness(arbiter_type):
+        config = {
+            "simulator": {"seed": 9},
+            "network": {
+                "topology": "parking_lot", "length": 5, "concentration": 1,
+                "num_vcs": 1, "channel_latency": 1,
+                "router": {
+                    "architecture": "input_queued", "input_queue_depth": 4,
+                    "core_latency": 1,
+                    "crossbar_scheduler": {"arbiter": {"type": arbiter_type}},
+                    "vc_scheduler": {"arbiter": {"type": arbiter_type}},
+                },
+                "interface": {"max_packet_size": 1},
+                "routing": {"algorithm": "chain"},
+            },
+            "workload": {"applications": [{
+                "type": "blast", "injection_rate": 0.3,
+                "warmup_duration": 1000, "generate_duration": 4000,
+                "traffic": {"type": "all_to_one"},
+                "message_size": {"type": "constant", "size": 1},
+            }]},
+        }
+        _sim, results = run_config(config, max_time=80_000)
+        stop = results.workload.stop_tick
+        counts = {}
+        for record in results.records():
+            if record.delivered_tick <= stop:
+                counts[record.source] = counts.get(record.source, 0) + 1
+        counts.pop(0, None)
+        values = sorted(counts.values())
+        return values[0] / values[-1]
+
+    def both():
+        return {"round_robin": fairness("round_robin"),
+                "age_based": fairness("age_based")}
+
+    ratios = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nablation(vc arbiter): min/max bandwidth share "
+          f"round_robin={ratios['round_robin']:.2f} "
+          f"age_based={ratios['age_based']:.2f}")
+    assert ratios["age_based"] > ratios["round_robin"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_injection_process(benchmark):
+    """Bernoulli vs periodic injection at the same mean rate: the
+    random process has a heavier latency tail."""
+
+    def tail(process_type):
+        config = small_torus_config()
+        config["workload"]["applications"][0]["injection_rate"] = 0.55
+        config["workload"]["applications"][0]["generate_duration"] = 3000
+        config["workload"]["applications"][0]["injection"] = {
+            "type": process_type}
+        _sim, results = run_config(config)
+        return results.latency().percentile(99)
+
+    def both():
+        return {"bernoulli": tail("bernoulli"), "periodic": tail("periodic")}
+
+    tails = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nablation(injection): p99 bernoulli={tails['bernoulli']:.0f} "
+          f"periodic={tails['periodic']:.0f}")
+    assert tails["bernoulli"] > tails["periodic"]

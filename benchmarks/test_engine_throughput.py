@@ -1,0 +1,60 @@
+"""Simulator engine microbenchmarks (not a paper figure).
+
+Raw event throughput of the DES core and end-to-end simulation
+throughput (events/second) for a representative network.  Useful for
+tracking the performance impact of engine changes -- the scaled
+experiment sizes in this repository assume the engine sustains roughly
+10^5 events per second.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Settings, Simulation
+from repro.core.event import Event
+from repro.core.simulator import Simulator
+from tests.conftest import small_torus_config
+
+
+@pytest.mark.benchmark(group="engine")
+def test_event_queue_throughput(benchmark):
+    """Schedule-and-execute cost of one million self-rescheduling events."""
+
+    def run_engine():
+        simulator = Simulator()
+        count = [0]
+
+        def handler(event):
+            count[0] += 1
+            if count[0] < 200_000:
+                simulator.call_at(simulator.tick + 1, handler)
+
+        for i in range(8):
+            simulator.call_at(i + 1, handler)
+        simulator.run()
+        return count[0]
+
+    executed = benchmark.pedantic(run_engine, rounds=1, iterations=1)
+    # Each of the 8 seed chains overshoots the shared counter by at
+    # most one event.
+    assert 200_000 <= executed <= 200_008
+
+
+@pytest.mark.benchmark(group="engine")
+def test_simulation_event_rate(benchmark):
+    """Events per wall-second for a 4x4 torus at 30% load."""
+
+    def run_sim():
+        config = small_torus_config()
+        config["workload"]["applications"][0]["injection_rate"] = 0.3
+        simulation = Simulation(Settings.from_dict(config))
+        simulation.run(max_time=100_000)
+        return simulation.simulator.executed_events
+
+    events = benchmark.pedantic(run_sim, rounds=1, iterations=1)
+    assert events > 50_000
+    stats = benchmark.stats.stats
+    rate = events / stats.mean
+    print(f"\nengine rate: {rate / 1000:.0f}k events/s "
+          f"({events} events in {stats.mean:.2f}s)")

@@ -1,0 +1,44 @@
+"""Fig. 7 -- the percentile distribution plot.
+
+A single simulation's sampled latency, rendered as latency vs
+percentile "nines": the view that reads off the 99.9th-percentile
+latency a 1000-way-parallel collective should expect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.ssplot import percentile_distribution
+from tests.conftest import small_torus_config
+
+from .conftest import emit, run_sim
+
+
+def _run():
+    config = small_torus_config()
+    config["workload"]["applications"][0]["injection_rate"] = 0.45
+    config["workload"]["applications"][0]["generate_duration"] = 4000
+    return run_sim(config, max_time=150_000)
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_percentile_distribution(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    assert results.drained
+    distribution = results.latency()
+    assert len(distribution) > 2000
+    plot = percentile_distribution(
+        distribution, title="Fig 7: percentile distribution", max_nines=3
+    )
+    emit(plot, "fig07")
+    p50 = distribution.percentile(50)
+    p90 = distribution.percentile(90)
+    p999 = distribution.percentile(99.9)
+    print(f"\nFig 7: p50={p50:.0f}  p90={p90:.0f}  p99.9={p999:.0f}  "
+          f"(only 1 in 1000 packets exceeds {p999:.0f} ticks)")
+    # The tail dominates the median: the whole point of plotting
+    # distributions instead of averages (§V).
+    assert p999 > p90 >= p50
+    series = plot.series[0]
+    assert all(b >= a for a, b in zip(series.x, series.x[1:]))

@@ -1,0 +1,95 @@
+"""Fig. 11 -- throughput of flow control techniques (case study C).
+
+FB / PB / WTA crossbar scheduling on a torus with DOR, swept over
+message sizes and VC counts at high offered load.  The paper's
+conclusion: at large scale with high channel latencies the technique
+barely matters -- with single-flit messages the three are *identical*,
+and for larger messages the differences stay small because packets
+rarely span multiple routers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import flow_control_config
+from repro.tools.ssplot import PlotData
+
+from .conftest import FULL_SCALE, emit, run_sim
+
+TECHNIQUES = ("flit_buffer", "packet_buffer", "winner_take_all")
+MESSAGE_SIZES = (1, 8, 32)
+INJECTION_RATE = 0.9
+
+
+def _config(flow_control, num_vcs, message_size):
+    config = flow_control_config(
+        flow_control=flow_control,
+        num_vcs=num_vcs,
+        message_size=message_size,
+        injection_rate=INJECTION_RATE,
+        full_scale=FULL_SCALE,
+        warmup=800,
+        window=1500,
+    )
+    if not FULL_SCALE:
+        config["network"]["dimension_widths"] = [4, 4]
+    return config
+
+
+def _sweep(num_vcs):
+    table = {}
+    for size in MESSAGE_SIZES:
+        for technique in TECHNIQUES:
+            results = run_sim(_config(technique, num_vcs, size),
+                              max_time=10_000)
+            table[(size, technique)] = results.accepted_load()
+    return table
+
+
+def _report(table, num_vcs, name):
+    plot = PlotData(f"Fig 11: flow control throughput, {num_vcs} VCs",
+                    "message size (flits)", "accepted load")
+    for technique in TECHNIQUES:
+        plot.add(technique, list(MESSAGE_SIZES),
+                 [table[(s, technique)] for s in MESSAGE_SIZES])
+    emit(plot, name)
+    print(f"\nFig 11 ({num_vcs} VCs, offered {INJECTION_RATE}):")
+    for size in MESSAGE_SIZES:
+        row = "  ".join(
+            f"{t[:2].upper()}={table[(size, t)]:.3f}" for t in TECHNIQUES
+        )
+        print(f"  {size:2d} flits: {row}")
+
+
+def _assert_shape(table):
+    # Single-flit messages: the techniques all act the same (§VI-C).
+    ones = [table[(1, t)] for t in TECHNIQUES]
+    assert max(ones) - min(ones) < 0.02
+    # Across all sizes the spread stays small at scale.
+    for size in MESSAGE_SIZES:
+        values = [table[(size, t)] for t in TECHNIQUES]
+        assert max(values) - min(values) < 0.12, (
+            f"flow control techniques diverged too much at size {size}"
+        )
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_2_vcs(benchmark):
+    table = benchmark.pedantic(_sweep, args=(2,), rounds=1, iterations=1)
+    _report(table, 2, "fig11a")
+    _assert_shape(table)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_4_vcs(benchmark):
+    table = benchmark.pedantic(_sweep, args=(4,), rounds=1, iterations=1)
+    _report(table, 4, "fig11b")
+    _assert_shape(table)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11c_8_vcs(benchmark):
+    table = benchmark.pedantic(_sweep, args=(8,), rounds=1, iterations=1)
+    _report(table, 8, "fig11c")
+    _assert_shape(table)

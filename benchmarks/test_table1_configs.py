@@ -1,0 +1,111 @@
+"""Table I -- the parameters of the three simulation case studies.
+
+Regenerates the table from :mod:`repro.configs` and verifies every cell
+against the paper: topology sizes, router radixes, architectures,
+latencies, buffer depths, VC counts, message sizes, and traffic
+patterns.  Also benchmarks construction of a full-scale network (the
+1024-terminal flattened butterfly with radix-63 IOQ routers) to show
+the paper-sized systems are buildable, not just configurable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Settings, factory, models
+from repro.configs import table1
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+
+from .conftest import results_path
+
+
+def test_table1_latent_congestion_column():
+    config = table1()["latent_congestion_detection"]
+    network = config["network"]
+    # 3-level folded Clos, 4096 terminals.
+    assert network["topology"] == "folded_clos"
+    assert network["num_levels"] == 3
+    assert network["half_radix"] ** network["num_levels"] == 4096
+    # Router radix 32 = 2 * half_radix.
+    assert 2 * network["half_radix"] == 32
+    # 50 ns channels (10 m cables), OQ router, 1 VC, 150-flit inputs.
+    assert network["channel_latency"] == 50
+    assert network["router"]["architecture"] == "output_queued"
+    assert network["num_vcs"] == 1
+    assert network["router"]["input_queue_depth"] == 150
+    assert network["router"]["core_latency"] == 50
+    # Adaptive uprouting; single-flit messages; uniform random to root.
+    assert network["routing"]["algorithm"] == "clos_adaptive"
+    app = config["workload"]["applications"][0]
+    assert app["message_size"]["size"] == 1
+    assert app["traffic"]["type"] == "uniform_to_root"
+
+
+def test_table1_credit_accounting_column():
+    config = table1()["congestion_credit_accounting"]
+    network = config["network"]
+    # 1-D flattened butterfly: 32 routers, 1024 terminals, radix 63.
+    assert network["topology"] == "hyperx"
+    assert network["dimension_widths"] == [32]
+    assert network["concentration"] == 32
+    radix = network["concentration"] + (network["dimension_widths"][0] - 1)
+    assert radix == 63
+    # UGAL, IOQ, 2x speedup, 2 VCs, 128/256-flit buffers, 50 ns.
+    assert network["routing"]["algorithm"] == "hyperx_ugal"
+    assert network["router"]["architecture"] == "input_output_queued"
+    assert network["channel_period"] == 2  # 2x frequency speedup
+    assert network["num_vcs"] == 2
+    assert network["router"]["input_queue_depth"] == 128
+    assert network["router"]["output_queue_depth"] == 256
+    assert network["channel_latency"] == 50
+    assert network["router"]["core_latency"] == 50
+
+
+def test_table1_flow_control_column():
+    config = table1()["flow_control_techniques"]
+    network = config["network"]
+    # 4-D torus 8x8x8x8 = 4096 terminals.
+    assert network["topology"] == "torus"
+    assert network["dimension_widths"] == [8, 8, 8, 8]
+    assert network["concentration"] == 1
+    # Radix 9 = 8 inter-router ports + 1 terminal.
+    radix = network["concentration"] + 2 * len(network["dimension_widths"])
+    assert radix == 9
+    # DOR, IQ, 1x, 5 ns channels (1 m cables), 25 ns crossbar, 128 inputs.
+    assert network["routing"]["algorithm"] == "torus_dimension_order"
+    assert network["router"]["architecture"] == "input_queued"
+    assert network["channel_period"] == 1
+    assert network["channel_latency"] == 5
+    assert network["router"]["core_latency"] == 25
+    assert network["router"]["input_queue_depth"] == 128
+    app = config["workload"]["applications"][0]
+    assert app["traffic"]["type"] == "uniform_random"
+
+
+def _build_full_scale_flattened_butterfly():
+    models.load_all()
+    config = table1()["congestion_credit_accounting"]
+    settings = Settings.from_dict(config["network"])
+    simulator = Simulator()
+    network = factory.create(
+        Network, "hyperx", simulator, "network", None, settings,
+        RandomManager(1),
+    )
+    return network
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full_scale_construction(benchmark):
+    """Construct the paper's 1024-terminal flattened butterfly."""
+    network = benchmark.pedantic(
+        _build_full_scale_flattened_butterfly, rounds=1, iterations=1
+    )
+    assert network.num_terminals == 1024
+    assert network.num_routers == 32
+    assert network.routers[0].num_ports == 63
+    with open(results_path("table1.txt"), "w", encoding="utf-8") as handle:
+        import json
+
+        handle.write(json.dumps(table1(), indent=2))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Case study C in miniature: flow control techniques (paper §VI-C).
+
+Compares flit-buffer, packet-buffer, and winner-take-all crossbar
+scheduling on a torus across message sizes.  At scale the three
+techniques converge -- the paper's design takeaway: if packet-buffer
+flow control is cheaper to build, just keep packets small.
+
+Run:  python examples/flow_control_study.py
+"""
+
+from repro import Settings, Simulation
+from repro.configs import flow_control_config
+
+TECHNIQUES = ("flit_buffer", "packet_buffer", "winner_take_all")
+SIZES = (1, 4, 16)
+
+
+def run_point(technique, size):
+    config = flow_control_config(
+        flow_control=technique,
+        num_vcs=4,
+        message_size=size,
+        injection_rate=0.9,
+        warmup=800,
+        window=1600,
+    )
+    config["network"]["dimension_widths"] = [4, 4]  # keep it quick
+    results = Simulation(Settings.from_dict(config)).run(max_time=10_000)
+    return results.accepted_load()
+
+
+def main():
+    print("Flow control techniques on a 16-node torus, offered load 0.9\n")
+    header = "size   " + "".join(f"{t:18s}" for t in TECHNIQUES)
+    print(header)
+    print("-" * len(header))
+    for size in SIZES:
+        row = f"{size:4d}   "
+        values = []
+        for technique in TECHNIQUES:
+            accepted = run_point(technique, size)
+            values.append(accepted)
+            row += f"{accepted:<18.3f}"
+        print(row)
+    print("\nWith single-flit messages the techniques are identical; at "
+          "larger sizes\nthe differences stay small -- the unit of "
+          "allocation matters little at scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Case study A in miniature: latent congestion detection (paper §VI-A).
+
+Sweeps the congestion sensor's propagation latency on a folded-Clos
+network with adaptive uprouting and finite output queues, showing the
+throughput collapse of Fig. 9b: stale congestion values make every
+input port's routing engine bombard the same "least congested" output.
+
+Run:  python examples/latent_congestion_study.py
+"""
+
+from repro import Settings, Simulation
+from repro.configs import latent_congestion_config
+from repro.tools.ssplot import PlotData
+
+SENSE_LATENCIES = [1, 4, 16, 64]
+INJECTION_RATE = 0.85
+
+
+def run_point(sense_latency, output_queue_depth):
+    config = latent_congestion_config(
+        congestion_latency=sense_latency,
+        output_queue_depth=output_queue_depth,
+        injection_rate=INJECTION_RATE,
+        half_radix=4,
+        warmup=1500,
+        window=3000,
+    )
+    config["network"]["num_levels"] = 2  # keep the example quick
+    results = Simulation(Settings.from_dict(config)).run(max_time=25_000)
+    return results.accepted_load(), results.latency().mean()
+
+
+def main():
+    print("Latent congestion detection on a 16-terminal folded Clos")
+    print(f"(offered load {INJECTION_RATE}, adaptive uprouting, OQ routers)\n")
+
+    plot = PlotData("Throughput vs congestion sensing latency",
+                    "sense latency (ns)", "accepted load")
+    for depth, label in ((None, "infinite queues"), (64, "64-flit queues")):
+        throughputs = []
+        print(f"{label}:")
+        for sense in SENSE_LATENCIES:
+            accepted, mean_latency = run_point(sense, depth)
+            throughputs.append(accepted)
+            print(f"  sense latency {sense:3d} ns: "
+                  f"accepted {accepted:.3f}, mean latency {mean_latency:7.1f} ns")
+        plot.add(label, SENSE_LATENCIES, throughputs)
+        print()
+
+    print(plot.render_ascii(width=60, height=14))
+    print("Infinite queues absorb the herding (throughput flat, latency "
+          "grows);\nfinite queues lose throughput once the sensing "
+          "latency exceeds a few cycles.")
+
+
+if __name__ == "__main__":
+    main()

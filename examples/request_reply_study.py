@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Transaction-level analysis with the request/reply application.
+
+Each terminal issues requests; destinations answer with responses
+sharing the transaction id; ssparse aggregates latency at packet,
+message, and transaction granularity -- the round trip is what RPC and
+memory-semantic fabrics actually experience.
+
+Run:  python examples/request_reply_study.py
+"""
+
+from repro import Settings, Simulation
+from repro.stats.latency import LatencyDistribution
+from repro.tools.ssparse import parse_records
+
+CONFIG = {
+    "simulator": {"seed": 21},
+    "network": {
+        "topology": "hyperx",
+        "dimension_widths": [4],
+        "concentration": 2,
+        "num_vcs": 2,
+        "channel_latency": 10,
+        "router": {"architecture": "input_output_queued",
+                   "input_queue_depth": 32, "core_latency": 4,
+                   "output_queue_depth": 32},
+        "interface": {"max_packet_size": 4},
+        "routing": {"algorithm": "hyperx_dimension_order"},
+    },
+    "workload": {
+        "applications": [{
+            "type": "request_reply",
+            "injection_rate": 0.1,          # request flits/terminal/cycle
+            "response_size": 8,             # 2-flit reads, 8-flit replies
+            "warmup_duration": 500,
+            "generate_duration": 4000,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 2},
+        }],
+    },
+}
+
+
+def main():
+    simulation = Simulation(Settings.from_dict(CONFIG))
+    results = simulation.run(max_time=150_000)
+    app = results.workload.applications[0]
+
+    print("drained:", results.drained)
+    print(f"transactions: {app.sampled_transactions_closed} closed / "
+          f"{app.sampled_transactions_opened} opened (sampled)")
+
+    parsed = parse_records(results.records(sampled_only=False))
+    message = parsed.latency("message")
+    transaction = LatencyDistribution(app.sampled_transaction_latencies())
+    print("\n              mean      p99")
+    print(f"message   {message.mean():8.1f} {message.percentile(99):8.1f}")
+    print(f"round trip{transaction.mean():8.1f} "
+          f"{transaction.percentile(99):8.1f}")
+    print("\nThe round trip pays two network traversals plus the "
+          "response's\nlarger serialization -- exactly what the "
+          "transaction view exposes\nand the per-message view hides.")
+
+
+if __name__ == "__main__":
+    main()

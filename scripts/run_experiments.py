@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Run the full reproduction experiment grid and emit markdown tables.
+
+This is the script that generated the measured numbers recorded in
+EXPERIMENTS.md.  It runs every case-study sweep at the default
+(scaled-down) sizes; expect ~20-40 minutes of wall time.
+
+Usage:  python scripts/run_experiments.py [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import Settings, Simulation
+from repro.configs import (
+    blast_pulse_config,
+    credit_accounting_config,
+    flow_control_config,
+    latent_congestion_config,
+)
+
+
+def run(config, max_time):
+    return Simulation(Settings.from_dict(config)).run(max_time=max_time)
+
+
+def section(lines, title):
+    lines.append(f"\n### {title}\n")
+
+
+def fig9(lines):
+    section(lines, "Fig. 9 — latent congestion detection")
+    lines.append("| output queues | sense latency (ns) | accepted load | mean latency (ns) |")
+    lines.append("|---|---|---|---|")
+    for depth, label in ((None, "infinite"), (64, "64 flits")):
+        for sense in (1, 8, 32, 64):
+            config = latent_congestion_config(
+                congestion_latency=sense, output_queue_depth=depth,
+                injection_rate=0.85, half_radix=4, warmup=1500, window=3000)
+            config["network"]["num_levels"] = 2
+            results = run(config, 25_000)
+            lines.append(
+                f"| {label} | {sense} | {results.accepted_load():.3f} "
+                f"| {results.latency().mean():.1f} |")
+            print(lines[-1], flush=True)
+
+
+def fig9_smaller(lines):
+    section(lines, "Fig. 9 text — smaller systems are milder")
+    lines.append("| half radix | terminals | acc @ sense=1 | acc @ sense=32 | drop |")
+    lines.append("|---|---|---|---|---|")
+    for half_radix in (2, 4):
+        accs = {}
+        for sense in (1, 32):
+            config = latent_congestion_config(
+                congestion_latency=sense, output_queue_depth=64,
+                injection_rate=0.85, half_radix=half_radix,
+                warmup=1500, window=3000)
+            config["network"]["num_levels"] = 2
+            accs[sense] = run(config, 25_000).accepted_load()
+        drop = 1 - accs[32] / accs[1]
+        lines.append(f"| {half_radix} | {half_radix**2} | {accs[1]:.3f} "
+                     f"| {accs[32]:.3f} | {drop:.1%} |")
+        print(lines[-1], flush=True)
+
+
+def fig10(lines):
+    section(lines, "Fig. 10 — credit accounting styles (UGAL, IOQ)")
+    for traffic, rate in (("uniform_random", 0.7), ("bit_complement", 0.6)):
+        lines.append(f"\n**{traffic} @ {rate}**\n")
+        lines.append("| style | accepted load | mean latency (ns) |")
+        lines.append("|---|---|---|")
+        for granularity in ("vc", "port"):
+            for source in ("output", "downstream", "both"):
+                config = credit_accounting_config(
+                    granularity=granularity, source=source, traffic=traffic,
+                    injection_rate=rate, warmup=1500, window=3000)
+                results = run(config, 25_000)
+                lines.append(
+                    f"| {granularity}/{source} | {results.accepted_load():.3f} "
+                    f"| {results.latency().mean():.1f} |")
+                print(lines[-1], flush=True)
+
+
+def fig11(lines):
+    section(lines, "Fig. 11 — flow control throughput (offered 0.9)")
+    lines.append("| VCs | message size | FB | PB | WTA |")
+    lines.append("|---|---|---|---|---|")
+    for vcs in (2, 4, 8):
+        for size in (1, 8, 32):
+            row = {}
+            for technique in ("flit_buffer", "packet_buffer",
+                              "winner_take_all"):
+                config = flow_control_config(
+                    flow_control=technique, num_vcs=vcs, message_size=size,
+                    injection_rate=0.9, warmup=1000, window=2000)
+                config["network"]["dimension_widths"] = [4, 4]
+                row[technique] = run(config, 14_000).accepted_load()
+            lines.append(
+                f"| {vcs} | {size} | {row['flit_buffer']:.3f} "
+                f"| {row['packet_buffer']:.3f} "
+                f"| {row['winner_take_all']:.3f} |")
+            print(lines[-1], flush=True)
+
+
+def fig12(lines):
+    section(lines, "Fig. 12 — flow control latency (8 VCs, 32-flit messages)")
+    lines.append("| load | FB mean | PB mean | WTA mean |")
+    lines.append("|---|---|---|---|")
+    for load in (0.3, 0.5, 0.7):
+        row = {}
+        for technique in ("flit_buffer", "packet_buffer", "winner_take_all"):
+            config = flow_control_config(
+                flow_control=technique, num_vcs=8, message_size=32,
+                injection_rate=load, warmup=1000, window=2500)
+            config["network"]["dimension_widths"] = [4, 4]
+            row[technique] = run(config, 25_000).latency().mean()
+        lines.append(f"| {load} | {row['flit_buffer']:.1f} "
+                     f"| {row['packet_buffer']:.1f} "
+                     f"| {row['winner_take_all']:.1f} |")
+        print(lines[-1], flush=True)
+
+
+def fig5(lines):
+    section(lines, "Fig. 5 — Blast disrupted by Pulse")
+    results = run(blast_pulse_config(blast_rate=0.2, pulse_rate=0.7,
+                                     pulse_delay=1500, pulse_duration=1000),
+                  150_000)
+    workload = results.workload
+    blast = results.records(application_id=0)
+    lo = workload.start_tick + 1500
+    hi = lo + 1000
+
+    def mean_between(a, b):
+        window = [r.latency for r in blast if a <= r.created_tick < b]
+        return sum(window) / len(window) if window else float("nan")
+
+    lines.append("| phase | Blast mean latency (ns) |")
+    lines.append("|---|---|")
+    lines.append(f"| before pulse | {mean_between(workload.start_tick, lo):.1f} |")
+    lines.append(f"| during pulse | {mean_between(lo, hi):.1f} |")
+    lines.append(f"| after recovery | {mean_between(hi + 1500, workload.stop_tick):.1f} |")
+    for line in lines[-3:]:
+        print(line, flush=True)
+
+
+def main():
+    start = time.time()
+    lines = ["# Experiment grid output", ""]
+    fig5(lines)
+    fig9(lines)
+    fig9_smaller(lines)
+    fig10(lines)
+    fig11(lines)
+    fig12(lines)
+    lines.append(f"\n_total wall time: {time.time() - start:.0f} s_")
+    text = "\n".join(lines) + "\n"
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"\nwrote {sys.argv[1]}")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim: this environment's setuptools lacks the wheel
+package, so editable installs go through ``setup.py develop``."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SuperSim reproduction: extensible flit-level simulation of "
+        "large-scale interconnection networks (ISPASS 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": [
+        "supersim = repro.__main__:main",
+        "ssparse = repro.tools.cli:ssparse_main",
+        "ssplot = repro.tools.cli:ssplot_main",
+    ]},
+)

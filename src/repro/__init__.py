@@ -1,0 +1,68 @@
+"""repro: a Python reproduction of SuperSim (ISPASS 2018).
+
+An extensible flit-level interconnection network simulator: a discrete
+event core, credit flow-controlled routers (output-queued, input-queued,
+input-output-queued), large-scale topologies (torus, folded Clos,
+HyperX/flattened butterfly, dragonfly), oblivious and adaptive routing,
+a four-phase workload framework, and the accompanying tool suite
+(taskrun, sssweep, ssparse, ssplot).
+
+Quick start::
+
+    from repro import Settings, Simulation
+
+    settings = Settings.from_dict({
+        "network": {
+            "topology": "torus",
+            "dimension_widths": [4, 4],
+            "concentration": 1,
+            "num_vcs": 2,
+            "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_queue_depth": 16},
+            "interface": {},
+            "routing": {"algorithm": "torus_dimension_order"},
+        },
+        "workload": {
+            "applications": [{
+                "type": "blast",
+                "injection_rate": 0.3,
+                "warmup_duration": 500,
+                "generate_duration": 2000,
+                "traffic": {"type": "uniform_random"},
+                "message_size": {"type": "constant", "size": 4},
+            }],
+        },
+    })
+    results = Simulation(settings).run(max_time=100000)
+    print(results.summary())
+"""
+
+from repro.config.settings import Settings, SettingsError
+from repro.core import (
+    Clock,
+    Component,
+    Event,
+    RandomManager,
+    SimulationError,
+    Simulator,
+    TimeStep,
+)
+from repro.sim import Simulation, SimulationResults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clock",
+    "Component",
+    "Event",
+    "RandomManager",
+    "Settings",
+    "SettingsError",
+    "Simulation",
+    "SimulationError",
+    "SimulationResults",
+    "Simulator",
+    "TimeStep",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Command line entry point (paper Listing 1).
+
+Usage::
+
+    supersim myconfig.json \\
+        network.router.architecture=string=my_arch \\
+        network.concentration=uint=16
+
+or equivalently ``python -m repro myconfig.json <overrides...>``.
+
+The first argument is a JSON settings file; every following argument is
+a ``path=type=value`` override.  On completion a JSON summary is printed
+to stdout.  An optional top-level ``output`` block controls artifacts::
+
+    "output": {
+      "message_log": "messages.jsonl",   # SSParse input
+      "summary": "summary.json"
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.config.settings import Settings
+from repro.sim import Simulation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="supersim",
+        description="Flit-level interconnection network simulator "
+        "(SuperSim reproduction)",
+    )
+    parser.add_argument("config", help="JSON settings file")
+    parser.add_argument(
+        "overrides",
+        nargs="*",
+        help="settings overrides of the form path=type=value",
+    )
+    parser.add_argument(
+        "--max-time",
+        type=int,
+        default=None,
+        help="hard stop at this simulated tick (overrides simulator.max_time)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary on stdout"
+    )
+    parser.add_argument(
+        "--progress",
+        type=int,
+        metavar="TICKS",
+        default=None,
+        help="print a progress line every TICKS simulated ticks",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    overrides = list(args.overrides)
+    if args.progress:
+        overrides.append(f"simulator.monitor.period=uint={args.progress}")
+        overrides.append("simulator.monitor.print=bool=true")
+    settings = Settings.from_file(args.config, overrides)
+    simulation = Simulation(settings)
+    results = simulation.run(max_time=args.max_time)
+    summary = results.summary()
+
+    output = settings.child("output", default={})
+    log_path = output.get("message_log", None)
+    if log_path:
+        count = simulation.message_log.write_jsonl(log_path)
+        summary["message_log"] = {"path": log_path, "records": count}
+    summary_path = output.get("summary", None)
+    if summary_path:
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+
+    if not args.quiet:
+        json.dump(summary, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 0 if results.drained else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Configuration subsystem (paper §III-C)."""
+
+from repro.config.settings import (
+    Settings,
+    SettingsError,
+    apply_override,
+    parse_override,
+)
+
+__all__ = ["Settings", "SettingsError", "apply_override", "parse_override"]

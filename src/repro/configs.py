@@ -1,0 +1,280 @@
+"""Case-study configurations (paper Table I).
+
+Builders for the three simulation case studies of §VI, parameterized by
+scale.  ``full_scale=True`` reproduces Table I exactly (4096-terminal
+folded Clos, 1024-terminal flattened butterfly, 4096-terminal 4-D
+torus); the default scaled-down instances preserve the governing ratios
+(channel latency : core latency : queue depths : packet length) while
+shrinking the machine so pure-Python simulation stays interactive.
+
+One tick is one nanosecond throughout, matching the paper's use of real
+time units.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional
+
+
+def latent_congestion_config(
+    congestion_latency: int = 1,
+    output_queue_depth: Optional[int] = 64,
+    injection_rate: float = 0.5,
+    full_scale: bool = False,
+    half_radix: Optional[int] = None,
+    seed: int = 12345,
+    warmup: int = 2000,
+    window: int = 6000,
+) -> dict:
+    """Case study A (§VI-A, Fig. 9): latent congestion detection.
+
+    Table I column 1: 3-level folded Clos, adaptive uprouting, OQ
+    router, 1 VC, 50 ns channels (10 m cables), 50 ns queue-to-queue
+    core latency, 150-flit input buffers, infinite or 64-flit output
+    queues, single-flit messages, uniform-random-to-root traffic.
+
+    ``congestion_latency`` is the swept sensed-congestion propagation
+    delay (1..32 ns in the paper); ``output_queue_depth=None`` selects
+    the infinite-queue variant of Fig. 9a.
+    """
+    if half_radix is None:
+        half_radix = 16 if full_scale else 4
+    return {
+        "simulator": {"seed": seed},
+        "network": {
+            "topology": "folded_clos",
+            "half_radix": half_radix,
+            "num_levels": 3,
+            "num_vcs": 1,
+            "channel_latency": 50,
+            "terminal_channel_latency": 50,
+            "channel_period": 1,
+            "router": {
+                "architecture": "output_queued",
+                "input_queue_depth": 150,
+                "core_latency": 50,
+                "output_queue_depth": output_queue_depth,
+                "congestion_sensor": {
+                    "type": "credit",
+                    "latency": congestion_latency,
+                    "granularity": "port",
+                    "source": "output",
+                },
+            },
+            # The ejection buffer must cover the terminal channel's
+            # bandwidth-delay product (2 * 50 ns round trip at one flit
+            # per ns), or ejection caps throughput below line rate.
+            "interface": {"max_packet_size": 1, "ejection_buffer_size": 256},
+            "routing": {"algorithm": "clos_adaptive"},
+        },
+        "workload": {
+            "applications": [
+                {
+                    "type": "blast",
+                    "injection_rate": injection_rate,
+                    "warmup_duration": warmup,
+                    "generate_duration": window,
+                    "traffic": {"type": "uniform_to_root"},
+                    "message_size": {"type": "constant", "size": 1},
+                }
+            ]
+        },
+    }
+
+
+def credit_accounting_config(
+    granularity: str = "port",
+    source: str = "downstream",
+    traffic: str = "uniform_random",
+    injection_rate: float = 0.5,
+    full_scale: bool = False,
+    seed: int = 12345,
+    warmup: int = 2000,
+    window: int = 6000,
+) -> dict:
+    """Case study B (§VI-B, Fig. 10): congestion credit accounting.
+
+    Table I column 2: 1-D flattened butterfly (32 routers, 1024
+    terminals, radix 63), UGAL, IOQ router with 2x frequency speedup,
+    2 VCs, 128-flit input buffers, 256-flit output queues, 50 ns
+    channels, 50 ns crossbar, single-flit messages, uniform random and
+    bit complement traffic.
+
+    The six accounting styles are the cross product of
+    ``granularity`` in {"vc", "port"} and ``source`` in
+    {"output", "downstream", "both"}.
+    """
+    if full_scale:
+        widths, concentration = [32], 32
+        input_depth, output_depth = 128, 256
+    else:
+        widths, concentration = [8], 4
+        input_depth, output_depth = 64, 128
+    return {
+        "simulator": {"seed": seed},
+        "network": {
+            "topology": "hyperx",
+            "dimension_widths": widths,
+            "concentration": concentration,
+            "num_vcs": 2,
+            "channel_latency": 50,
+            "terminal_channel_latency": 10,
+            # 2x frequency speedup: the 1-tick router core runs twice
+            # per 2-tick channel cycle (§III-B).
+            "channel_period": 2,
+            "router": {
+                "architecture": "input_output_queued",
+                "input_queue_depth": input_depth,
+                "output_queue_depth": output_depth,
+                "core_latency": 50,
+                "congestion_sensor": {
+                    "type": "credit",
+                    "latency": 8,
+                    "granularity": granularity,
+                    "source": source,
+                },
+                "crossbar_scheduler": {"flow_control": "flit_buffer"},
+            },
+            "interface": {"max_packet_size": 1},
+            "routing": {"algorithm": "hyperx_ugal", "ugal_bias": 0.0},
+        },
+        "workload": {
+            "applications": [
+                {
+                    "type": "blast",
+                    "injection_rate": injection_rate,
+                    "warmup_duration": warmup,
+                    "generate_duration": window,
+                    "traffic": {"type": traffic},
+                    "message_size": {"type": "constant", "size": 1},
+                }
+            ]
+        },
+    }
+
+
+def flow_control_config(
+    flow_control: str = "flit_buffer",
+    num_vcs: int = 2,
+    message_size: int = 1,
+    injection_rate: float = 0.5,
+    full_scale: bool = False,
+    seed: int = 12345,
+    warmup: int = 2000,
+    window: int = 6000,
+) -> dict:
+    """Case study C (§VI-C, Figs. 11-12): flow control techniques.
+
+    Table I column 3: 4-D torus 8x8x8x8 (4096 terminals), dimension
+    order routing, IQ router, 5 ns channels (1 m cables), 25 ns main
+    crossbar latency, {2, 4, 8} VCs, 128-flit input buffers, message
+    sizes {1, 2, 4, 8, 16, 32} flits, uniform random traffic.
+
+    ``flow_control`` is one of ``flit_buffer``, ``packet_buffer``,
+    ``winner_take_all``.
+    """
+    widths = [8, 8, 8, 8] if full_scale else [4, 4, 4]
+    return {
+        "simulator": {"seed": seed},
+        "network": {
+            "topology": "torus",
+            "dimension_widths": widths,
+            "concentration": 1,
+            "num_vcs": num_vcs,
+            "channel_latency": 5,
+            "terminal_channel_latency": 5,
+            "channel_period": 1,
+            "router": {
+                "architecture": "input_queued",
+                "input_queue_depth": 128,
+                "core_latency": 25,
+                "crossbar_scheduler": {
+                    "flow_control": flow_control,
+                    "arbiter": {"type": "round_robin"},
+                },
+            },
+            "interface": {"max_packet_size": 32},
+            "routing": {"algorithm": "torus_dimension_order"},
+        },
+        "workload": {
+            "applications": [
+                {
+                    "type": "blast",
+                    "injection_rate": injection_rate,
+                    "warmup_duration": warmup,
+                    "generate_duration": window,
+                    "traffic": {"type": "uniform_random"},
+                    "message_size": {"type": "constant", "size": message_size},
+                }
+            ]
+        },
+    }
+
+
+def table1() -> dict:
+    """The three full-scale Table I configurations, by case study name."""
+    return {
+        "latent_congestion_detection": latent_congestion_config(full_scale=True),
+        "congestion_credit_accounting": credit_accounting_config(full_scale=True),
+        "flow_control_techniques": flow_control_config(
+            full_scale=True, num_vcs=2, message_size=1
+        ),
+    }
+
+
+def blast_pulse_config(
+    blast_rate: float = 0.2,
+    pulse_rate: float = 0.6,
+    pulse_delay: int = 1500,
+    pulse_duration: int = 1000,
+    seed: int = 12345,
+) -> dict:
+    """The Fig. 5 transient workload: Blast disturbed by Pulse, on a
+    small 2-D torus suited for quick transient analyses."""
+    return {
+        "simulator": {"seed": seed},
+        "network": {
+            "topology": "torus",
+            "dimension_widths": [4, 4],
+            "concentration": 1,
+            "num_vcs": 2,
+            "channel_latency": 5,
+            "terminal_channel_latency": 5,
+            "channel_period": 1,
+            "router": {
+                "architecture": "input_queued",
+                "input_queue_depth": 32,
+                "core_latency": 5,
+            },
+            "interface": {"max_packet_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"},
+        },
+        "workload": {
+            "applications": [
+                {
+                    "type": "blast",
+                    "injection_rate": blast_rate,
+                    "warmup_duration": 1000,
+                    "generate_duration": 6000,
+                    "traffic": {"type": "uniform_random"},
+                    "message_size": {"type": "constant", "size": 4},
+                },
+                {
+                    "type": "pulse",
+                    "injection_rate": pulse_rate,
+                    "delay": pulse_delay,
+                    "duration": pulse_duration,
+                    "traffic": {"type": "uniform_random"},
+                    "message_size": {"type": "constant", "size": 4},
+                },
+            ]
+        },
+    }
+
+
+def with_overrides(config: dict, **top_level) -> dict:
+    """Deep-copy ``config`` and update top-level keys (tests helper)."""
+    result = copy.deepcopy(config)
+    result.update(top_level)
+    return result

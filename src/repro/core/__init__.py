@@ -1,0 +1,31 @@
+"""Discrete event simulation core (paper §III).
+
+Public names::
+
+    Simulator   -- global event queue + executer
+    Component   -- base class for everything in a simulation
+    Event       -- a scheduled callback
+    TimeStep    -- (tick, epsilon) simulated time value
+    Clock       -- a clock domain (period in ticks)
+    RandomManager -- deterministic named RNG streams
+"""
+
+from repro.core.clock import Clock
+from repro.core.component import Component
+from repro.core.event import Event
+from repro.core.rng import RandomManager
+from repro.core.simtime import MAX_EPSILON, ZERO, TimeStep, as_timestep
+from repro.core.simulator import SimulationError, Simulator
+
+__all__ = [
+    "Clock",
+    "Component",
+    "Event",
+    "MAX_EPSILON",
+    "RandomManager",
+    "SimulationError",
+    "Simulator",
+    "TimeStep",
+    "ZERO",
+    "as_timestep",
+]

@@ -1,0 +1,66 @@
+"""Clock domains (paper §III-B, Fig. 2b).
+
+SuperSim allows multiple clock frequencies in one design.  A clock is
+specified by its cycle time in ticks: Clock A with a 3-tick period and
+Clock B with a 2-tick period tick at 0,3,6,... and 0,2,4,...
+respectively.  This is most commonly used to model switch frequency
+speedup where the router core runs faster than its links.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+
+class Clock:
+    """A clock domain defined by a period (in ticks) and a phase offset.
+
+    Edges occur at ticks ``phase + k * period`` for ``k = 0, 1, 2, ...``.
+    """
+
+    __slots__ = ("simulator", "period", "phase")
+
+    def __init__(self, simulator: "Simulator", period: int, phase: int = 0):
+        if period < 1:
+            raise ValueError(f"clock period must be >= 1 tick, got {period}")
+        if not 0 <= phase < period:
+            raise ValueError(f"clock phase must be in [0, {period}), got {phase}")
+        self.simulator = simulator
+        self.period = period
+        self.phase = phase
+
+    def is_edge(self, tick: int) -> bool:
+        """True when ``tick`` lies exactly on a clock edge."""
+        return tick >= self.phase and (tick - self.phase) % self.period == 0
+
+    def next_edge(self, tick: int) -> int:
+        """The first edge tick strictly *at or after* ``tick``."""
+        if tick <= self.phase:
+            return self.phase
+        offset = (tick - self.phase) % self.period
+        if offset == 0:
+            return tick
+        return tick + (self.period - offset)
+
+    def following_edge(self, tick: int) -> int:
+        """The first edge tick strictly *after* ``tick``."""
+        edge = self.next_edge(tick)
+        if edge == tick:
+            edge += self.period
+        return edge
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        """Convert a cycle count in this domain to ticks."""
+        if cycles < 0:
+            raise ValueError(f"cycle count must be non-negative, got {cycles}")
+        return cycles * self.period
+
+    def frequency_ratio(self, other: "Clock") -> float:
+        """How many times faster this clock is than ``other``."""
+        return other.period / self.period
+
+    def __repr__(self):
+        return f"Clock(period={self.period}, phase={self.phase})"

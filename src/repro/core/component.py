@@ -1,0 +1,88 @@
+"""Component base class.
+
+Everything that exists inside a simulation -- routers, channels,
+interfaces, terminals, applications -- is a :class:`Component`.
+Components form a naming hierarchy (``network.router_3.input_2``) used
+for debug output and component lookup, and every component holds a link
+to the global :class:`~repro.core.simulator.Simulator` through which it
+schedules events (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.core.event import Event
+from repro.core.simtime import TimeStep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+
+class Component:
+    """A named node in the simulation hierarchy that can schedule events."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Optional["Component"] = None,
+    ):
+        if not name:
+            raise ValueError("component name must be non-empty")
+        if "." in name:
+            raise ValueError(f"component name may not contain '.': {name!r}")
+        self.simulator = simulator
+        self.name = name
+        self.parent = parent
+        if parent is None:
+            self.full_name = name
+        else:
+            self.full_name = f"{parent.full_name}.{name}"
+        simulator.register_component(self)
+        self._debug = False
+
+    # -- scheduling helpers ---------------------------------------------------
+
+    def schedule(
+        self,
+        handler: Callable[[Event], None],
+        delay_ticks: int,
+        epsilon: int = 0,
+        data: Any = None,
+    ) -> Event:
+        """Schedule ``handler`` to run ``delay_ticks`` from now.
+
+        With ``delay_ticks == 0`` the event runs later in the current tick
+        and ``epsilon`` must place it after the current event.
+        """
+        simulator = self.simulator
+        if delay_ticks == 0:
+            tick = simulator.tick
+            epsilon = max(epsilon, simulator.epsilon + 1)
+        else:
+            tick = simulator.tick + delay_ticks
+        return simulator.add_event(Event(handler, data), tick, epsilon)
+
+    def schedule_at(
+        self,
+        handler: Callable[[Event], None],
+        tick: int,
+        epsilon: int = 0,
+        data: Any = None,
+    ) -> Event:
+        """Schedule ``handler`` at an absolute ``(tick, epsilon)``."""
+        return self.simulator.add_event(Event(handler, data), tick, epsilon)
+
+    # -- debug ------------------------------------------------------------------
+
+    def set_debug(self, flag: bool) -> None:
+        self._debug = flag
+
+    def dbg(self, message: str) -> None:
+        """Print a debug line when debugging is enabled for this component."""
+        if self._debug:
+            print(f"[{self.simulator.now}] {self.full_name}: {message}")
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.full_name!r})"

@@ -1,0 +1,103 @@
+"""Hierarchical simulation time: ticks and epsilons.
+
+SuperSim represents time as a pair ``(tick, epsilon)`` (paper §III-B,
+Fig. 2a).  Ticks are real time -- the user decides what one tick means
+(1 ns, 457 ps, one clock period, ...).  Epsilons order operations that
+happen "at the same time"; they never represent real time.  Event
+priority compares ticks first and uses epsilons only to break ties.
+
+This module provides the :class:`TimeStep` value type plus a couple of
+constants.  ``TimeStep`` is an immutable, totally ordered value so it
+can be used directly as a priority-queue key.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Union
+
+#: Largest epsilon value allowed within a single tick.  Purely a sanity
+#: bound -- designs needing more than a million intra-tick orderings are
+#: almost certainly buggy.
+MAX_EPSILON = 1_000_000
+
+
+@functools.total_ordering
+class TimeStep:
+    """An immutable point in simulated time: ``(tick, epsilon)``.
+
+    ``tick`` is the real-time component, ``epsilon`` the intra-tick
+    ordering component.  Comparison is lexicographic: a lower tick always
+    wins regardless of epsilon (paper §III-B).
+
+    >>> TimeStep(5, 0) < TimeStep(5, 3) < TimeStep(6, 0)
+    True
+    """
+
+    __slots__ = ("tick", "epsilon")
+
+    def __init__(self, tick: int, epsilon: int = 0):
+        if tick < 0:
+            raise ValueError(f"tick must be non-negative, got {tick}")
+        if not 0 <= epsilon <= MAX_EPSILON:
+            raise ValueError(f"epsilon out of range [0, {MAX_EPSILON}]: {epsilon}")
+        object.__setattr__(self, "tick", tick)
+        object.__setattr__(self, "epsilon", epsilon)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TimeStep is immutable")
+
+    # -- ordering ---------------------------------------------------------
+
+    def _key(self):
+        return (self.tick, self.epsilon)
+
+    def __eq__(self, other):
+        if not isinstance(other, TimeStep):
+            return NotImplemented
+        return self.tick == other.tick and self.epsilon == other.epsilon
+
+    def __lt__(self, other):
+        if not isinstance(other, TimeStep):
+            return NotImplemented
+        if self.tick != other.tick:
+            return self.tick < other.tick
+        return self.epsilon < other.epsilon
+
+    def __hash__(self):
+        return hash((self.tick, self.epsilon))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def plus_ticks(self, ticks: int) -> "TimeStep":
+        """Return a new TimeStep ``ticks`` later, with epsilon reset to 0.
+
+        Advancing real time always starts a fresh epsilon sequence: the
+        epsilons of one tick are unrelated to those of any other tick.
+        """
+        if ticks < 0:
+            raise ValueError(f"cannot move time backwards by {ticks} ticks")
+        return TimeStep(self.tick + ticks, 0)
+
+    def plus_epsilon(self, count: int = 1) -> "TimeStep":
+        """Return a new TimeStep ``count`` epsilons later in the same tick."""
+        return TimeStep(self.tick, self.epsilon + count)
+
+    def __repr__(self):
+        return f"TimeStep({self.tick}, {self.epsilon})"
+
+    def __str__(self):
+        return f"{self.tick}e{self.epsilon}"
+
+
+#: The beginning of simulated time.
+ZERO = TimeStep(0, 0)
+
+TimeLike = Union[TimeStep, int]
+
+
+def as_timestep(value: TimeLike) -> TimeStep:
+    """Coerce an ``int`` tick count or a TimeStep into a TimeStep."""
+    if isinstance(value, TimeStep):
+        return value
+    return TimeStep(int(value), 0)

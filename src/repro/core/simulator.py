@@ -1,0 +1,219 @@
+"""The discrete event simulation (DES) engine (paper §III-A, Fig. 1).
+
+A simulation is built of :class:`~repro.core.component.Component` objects
+which create :class:`~repro.core.event.Event` objects.  Each component
+links to the global :class:`Simulator` and pushes its events into the
+simulator's priority queue.  The executer sequentially pulls events from
+the queue, ordered by ``(tick, epsilon)``, and executes them.  The
+simulation is over when the event queue runs empty.
+
+Performance note: time is carried as two plain ints through the hot
+path (scheduling + executing millions of events per simulated
+millisecond); the :class:`~repro.core.simtime.TimeStep` value type is
+only materialized at API boundaries (``now``, ``Event.time``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _wallclock
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.event import Event
+from repro.core.simtime import TimeStep
+
+TimeLike = Union[TimeStep, int]
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal inconsistencies detected during simulation."""
+
+
+class Simulator:
+    """Global event queue, executer, and component registry.
+
+    The queue holds ``(tick, epsilon, seq, event)`` tuples.  ``seq`` is a
+    monotonically increasing sequence number, making execution order fully
+    deterministic for events scheduled at identical times: ties break in
+    scheduling order.
+    """
+
+    def __init__(self):
+        self._queue: List[Tuple[int, int, int, Event]] = []
+        self._seq = 0
+        self._now_tick = 0
+        self._now_epsilon = 0
+        self._running = False
+        self._executed_events = 0
+        self._components: Dict[str, "Component"] = {}
+        self._observers: List[Callable[["Simulator"], None]] = []
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> TimeStep:
+        """The current simulation time."""
+        return TimeStep(self._now_tick, self._now_epsilon)
+
+    @property
+    def tick(self) -> int:
+        """The tick component of the current simulation time."""
+        return self._now_tick
+
+    @property
+    def epsilon(self) -> int:
+        """The epsilon component of the current simulation time."""
+        return self._now_epsilon
+
+    @property
+    def executed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed_events
+
+    # -- component registry --------------------------------------------------
+
+    def register_component(self, component: "Component") -> None:
+        """Register a component under its full hierarchical name.
+
+        Names must be unique; a duplicate indicates two components were
+        constructed with the same parent and name, which is always a bug.
+        """
+        name = component.full_name
+        if name in self._components:
+            raise SimulationError(f"duplicate component name: {name!r}")
+        self._components[name] = component
+
+    def find_component(self, full_name: str) -> Optional["Component"]:
+        """Look up a registered component by full hierarchical name."""
+        return self._components.get(full_name)
+
+    @property
+    def num_components(self) -> int:
+        return len(self._components)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def add_event(self, event: Event, time: TimeLike, epsilon: int = 0) -> Event:
+        """Schedule ``event`` at the given absolute time.
+
+        ``time`` may be a :class:`TimeStep` (in which case ``epsilon`` is
+        ignored) or an integer tick.  Scheduling at or before the current
+        time while running is a fatal error: it would silently corrupt
+        causality.  Same-tick scheduling needs a strictly greater epsilon.
+        """
+        if type(time) is int:
+            tick = time
+        elif isinstance(time, TimeStep):
+            tick, epsilon = time.tick, time.epsilon
+        else:
+            tick = int(time)
+        if tick < 0 or epsilon < 0:
+            raise SimulationError(f"bad event time ({tick}, {epsilon})")
+        if self._running and (
+            tick < self._now_tick
+            or (tick == self._now_tick and epsilon <= self._now_epsilon)
+        ):
+            raise SimulationError(
+                f"event scheduled at ({tick}, {epsilon}), not after the "
+                f"current time ({self._now_tick}, {self._now_epsilon}); "
+                "use a greater tick or epsilon"
+            )
+        event.tick = tick
+        event.epsilon = epsilon
+        heapq.heappush(self._queue, (tick, epsilon, self._seq, event))
+        self._seq += 1
+        return event
+
+    def call_at(
+        self,
+        time: TimeLike,
+        handler: Callable[[Event], None],
+        data: Any = None,
+        epsilon: int = 0,
+    ) -> Event:
+        """Convenience: create and schedule an event in one call."""
+        return self.add_event(Event(handler, data), time, epsilon)
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events pending in the queue (including cancelled)."""
+        return len(self._queue)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        max_time: Optional[TimeLike] = None,
+        max_events: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> TimeStep:
+        """Run the executer until the event queue is empty.
+
+        Optional safety limits stop a runaway simulation:
+
+        * ``max_time``: stop before executing any event past this tick.
+        * ``max_events``: stop after executing this many events.
+        * ``max_seconds``: stop after this much wall-clock time.
+
+        Returns the final simulation time.
+        """
+        if max_time is None:
+            limit_tick, limit_epsilon = None, 0
+        elif isinstance(max_time, TimeStep):
+            limit_tick, limit_epsilon = max_time.tick, max_time.epsilon
+        else:
+            limit_tick, limit_epsilon = int(max_time), 0
+        deadline = (
+            _wallclock.monotonic() + max_seconds if max_seconds is not None else None
+        )
+        executed_at_entry = self._executed_events
+        check_mask = 0x3FF  # test wall clock every 1024 events
+        queue = self._queue
+        pop = heapq.heappop
+        self._running = True
+        try:
+            while queue:
+                tick, epsilon, _seq, event = pop(queue)
+                if event.cancelled:
+                    continue
+                if limit_tick is not None and (
+                    tick > limit_tick
+                    or (tick == limit_tick and epsilon > limit_epsilon)
+                ):
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(queue, (tick, epsilon, _seq, event))
+                    break
+                self._now_tick = tick
+                self._now_epsilon = epsilon
+                event.handler(event)
+                self._executed_events += 1
+                if max_events is not None and (
+                    self._executed_events - executed_at_entry >= max_events
+                ):
+                    break
+                if (
+                    deadline is not None
+                    and (self._executed_events & check_mask) == 0
+                    and _wallclock.monotonic() > deadline
+                ):
+                    break
+        finally:
+            self._running = False
+        for observer in self._observers:
+            observer(self)
+        return self.now
+
+    def add_run_observer(self, observer: Callable[["Simulator"], None]) -> None:
+        """Register a callable invoked after each :meth:`run` completes."""
+        self._observers.append(observer)
+
+    def __repr__(self):
+        return (
+            f"Simulator(now={self.now}, queued={len(self._queue)}, "
+            f"executed={self._executed_events})"
+        )
+
+
+# Imported at the bottom to avoid a cycle: Component type is only needed
+# for annotations above.
+from repro.core.component import Component  # noqa: E402  (cycle guard)

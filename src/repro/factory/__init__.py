@@ -1,0 +1,23 @@
+"""Object factory subsystem (paper §III-D)."""
+
+from repro.factory.registry import (
+    GLOBAL_FACTORY,
+    FactoryError,
+    ObjectFactory,
+    create,
+    is_registered,
+    lookup,
+    names,
+    register,
+)
+
+__all__ = [
+    "GLOBAL_FACTORY",
+    "FactoryError",
+    "ObjectFactory",
+    "create",
+    "is_registered",
+    "lookup",
+    "names",
+    "register",
+]

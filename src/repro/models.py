@@ -1,0 +1,52 @@
+"""Import every packaged component model so it registers with the
+object factory.
+
+SuperSim's C++ factories self-register at static-initialization time; in
+Python, registration happens at import time, so something must import
+the model modules.  :func:`load_all` is that something -- the
+Simulation builder and the test suite call it once.  User extensions
+register themselves the same way: import your module (anywhere) before
+building the simulation and its models become available by name, with
+zero changes to this code base (§III-D).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_MODEL_MODULES = (
+    # Router architectures.
+    "repro.router.output_queued",
+    "repro.router.input_queued",
+    "repro.router.input_output_queued",
+    # Arbiters and congestion sensors.
+    "repro.router.arbiter",
+    "repro.router.congestion",
+    # Interfaces.
+    "repro.net.interface",
+    # Topologies.
+    "repro.topology.torus",
+    "repro.topology.folded_clos",
+    "repro.topology.hyperx",
+    "repro.topology.dragonfly",
+    "repro.topology.parking_lot",
+    # Routing algorithms.
+    "repro.routing.torus",
+    "repro.routing.folded_clos",
+    "repro.routing.hyperx",
+    "repro.routing.dragonfly",
+    "repro.routing.chain",
+    # Workload models.
+    "repro.workload.blast",
+    "repro.workload.pulse",
+    "repro.workload.request_reply",
+    "repro.workload.traffic",
+    "repro.workload.size",
+    "repro.workload.injection",
+)
+
+
+def load_all() -> None:
+    """Import all packaged model modules (idempotent)."""
+    for module in _MODEL_MODULES:
+        importlib.import_module(module)

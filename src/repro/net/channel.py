@@ -1,0 +1,143 @@
+"""Channels: latency-bearing links between devices.
+
+A channel moves one item (a flit or a credit) from a source device port
+to a sink device port after a fixed latency.  Flit channels additionally
+enforce a bandwidth of one flit per channel-clock cycle -- the *phit*
+rate.  Credit channels carry the reverse credit flow with the same
+latency; multiple credits (for different VCs) may share a cycle, which
+models the credit piggybacking used by real links.
+
+High channel latency is a defining property of large-scale networks
+(paper §I): a 10 m cable at ~5 ns/m is 50 ns, i.e. tens of flit times in
+flight.  The channel keeps an utilization count so analyses can report
+channel load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.component import Component
+from repro.core.event import Event
+from repro.net.credit import Credit
+from repro.net.flit import Flit
+from repro.net.phases import EPS_DELIVER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+    from repro.net.device import PortedDevice
+
+
+class ChannelError(RuntimeError):
+    """Raised on channel protocol violations (overdriving, no sink)."""
+
+
+class Channel(Component):
+    """A unidirectional flit link with latency and one-flit-per-cycle pacing."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Optional[Component],
+        latency: int,
+        period: int = 1,
+    ):
+        super().__init__(simulator, name, parent)
+        if latency < 1:
+            raise ValueError(f"channel latency must be >= 1 tick, got {latency}")
+        if period < 1:
+            raise ValueError(f"channel period must be >= 1 tick, got {period}")
+        self.latency = latency
+        self.period = period
+        self._sink: Optional["PortedDevice"] = None
+        self._sink_port: Optional[int] = None
+        self._next_free_tick = 0
+        self.flits_carried = 0
+
+    def connect_sink(self, sink: "PortedDevice", port: int) -> None:
+        if self._sink is not None:
+            raise ChannelError(f"{self.full_name}: sink already connected")
+        self._sink = sink
+        self._sink_port = port
+
+    @property
+    def sink(self) -> Optional["PortedDevice"]:
+        return self._sink
+
+    @property
+    def sink_port(self) -> Optional[int]:
+        return self._sink_port
+
+    def can_send(self) -> bool:
+        """True when the channel is free this cycle."""
+        return self.simulator.tick >= self._next_free_tick
+
+    def next_send_tick(self) -> int:
+        """Earliest tick at which the channel accepts the next flit."""
+        return max(self._next_free_tick, self.simulator.tick)
+
+    def send_flit(self, flit: Flit) -> None:
+        """Transmit ``flit``; it arrives at the sink after ``latency``."""
+        if self._sink is None:
+            raise ChannelError(f"{self.full_name}: no sink connected")
+        now = self.simulator.tick
+        if now < self._next_free_tick:
+            raise ChannelError(
+                f"{self.full_name}: overdriven -- busy until {self._next_free_tick}, "
+                f"send attempted at {now}"
+            )
+        self._next_free_tick = now + self.period
+        self.flits_carried += 1
+        self.simulator.call_at(
+            now + self.latency, self._deliver, data=flit, epsilon=EPS_DELIVER
+        )
+
+    def _deliver(self, event: Event) -> None:
+        self._sink.receive_flit(self._sink_port, event.data)
+
+    def utilization(self, window_ticks: int) -> float:
+        """Flits carried per channel cycle over ``window_ticks``."""
+        if window_ticks <= 0:
+            return 0.0
+        cycles = window_ticks / self.period
+        return self.flits_carried / cycles
+
+
+class CreditChannel(Component):
+    """A unidirectional credit link with latency (no pacing)."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Optional[Component],
+        latency: int,
+    ):
+        super().__init__(simulator, name, parent)
+        if latency < 1:
+            raise ValueError(f"credit latency must be >= 1 tick, got {latency}")
+        self.latency = latency
+        self._sink: Optional["PortedDevice"] = None
+        self._sink_port: Optional[int] = None
+        self.credits_carried = 0
+
+    def connect_sink(self, sink: "PortedDevice", port: int) -> None:
+        if self._sink is not None:
+            raise ChannelError(f"{self.full_name}: sink already connected")
+        self._sink = sink
+        self._sink_port = port
+
+    def send_credit(self, credit: Credit) -> None:
+        if self._sink is None:
+            raise ChannelError(f"{self.full_name}: no sink connected")
+        self.credits_carried += 1
+        self.simulator.call_at(
+            self.simulator.tick + self.latency,
+            self._deliver,
+            data=credit,
+            epsilon=EPS_DELIVER,
+        )
+
+    def _deliver(self, event: Event) -> None:
+        self._sink.receive_credit(self._sink_port, event.data)

@@ -1,0 +1,118 @@
+"""PortedDevice: the wiring contract shared by routers and interfaces.
+
+A *port* is a bidirectional attachment point: each port has an outgoing
+flit channel (paired with an incoming credit channel that returns
+credits for the flits we send) and an incoming flit channel (paired with
+an outgoing credit channel that returns credits for the flits we
+receive).  The :func:`wire` helper in :mod:`repro.net.network` connects
+two ports with all four channels.
+
+Concrete devices implement ``receive_flit`` / ``receive_credit`` and use
+``send_flit`` / ``send_credit`` plus the per-port
+:class:`~repro.net.credit.CreditTracker` to obey flow control.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.component import Component
+from repro.net.channel import Channel, CreditChannel
+from repro.net.credit import Credit, CreditTracker
+from repro.net.flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simulator import Simulator
+
+
+class WiringError(RuntimeError):
+    """Raised when a device's ports are wired inconsistently."""
+
+
+class PortedDevice(Component):
+    """Base class for any device with flow-controlled bidirectional ports."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Optional[Component],
+        num_ports: int,
+        num_vcs: int,
+    ):
+        super().__init__(simulator, name, parent)
+        if num_ports < 1:
+            raise ValueError(f"device needs at least 1 port, got {num_ports}")
+        if num_vcs < 1:
+            raise ValueError(f"device needs at least 1 VC, got {num_vcs}")
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+        self._flit_out: List[Optional[Channel]] = [None] * num_ports
+        self._credit_out: List[Optional[CreditChannel]] = [None] * num_ports
+        self._output_credits: List[Optional[CreditTracker]] = [None] * num_ports
+
+    # -- wiring (called by repro.net.network.wire) ---------------------------
+
+    def set_flit_channel_out(self, port: int, channel: Channel) -> None:
+        if self._flit_out[port] is not None:
+            raise WiringError(f"{self.full_name}: port {port} flit-out already wired")
+        self._flit_out[port] = channel
+
+    def set_credit_channel_out(self, port: int, channel: CreditChannel) -> None:
+        if self._credit_out[port] is not None:
+            raise WiringError(f"{self.full_name}: port {port} credit-out already wired")
+        self._credit_out[port] = channel
+
+    def init_output_credits(self, port: int, capacities: List[int]) -> None:
+        """Install the credit tracker mirroring the downstream input buffer."""
+        if self._output_credits[port] is not None:
+            raise WiringError(f"{self.full_name}: port {port} credits already set")
+        self._output_credits[port] = CreditTracker(
+            capacities, owner_name=f"{self.full_name}.out{port}"
+        )
+
+    def port_is_wired(self, port: int) -> bool:
+        return self._flit_out[port] is not None
+
+    # -- the flow-control contract ------------------------------------------------
+
+    def input_buffer_capacities(self, port: int) -> List[int]:
+        """Per-VC capacity of this device's input buffer at ``port``.
+
+        The wiring helper calls this to size the upstream credit tracker.
+        """
+        raise NotImplementedError
+
+    def receive_flit(self, port: int, flit: Flit) -> None:
+        """A flit arrived on the incoming channel of ``port``."""
+        raise NotImplementedError
+
+    def receive_credit(self, port: int, credit: Credit) -> None:
+        """A credit arrived: downstream freed a slot on ``credit.vc``."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses ----------------------------------------------------
+
+    def output_channel(self, port: int) -> Channel:
+        channel = self._flit_out[port]
+        if channel is None:
+            raise WiringError(f"{self.full_name}: port {port} has no flit-out channel")
+        return channel
+
+    def output_credit_tracker(self, port: int) -> CreditTracker:
+        tracker = self._output_credits[port]
+        if tracker is None:
+            raise WiringError(f"{self.full_name}: port {port} has no credit tracker")
+        return tracker
+
+    def send_flit(self, port: int, flit: Flit) -> None:
+        """Transmit a flit on ``port``, consuming one downstream credit."""
+        self.output_credit_tracker(port).take(flit.vc)
+        self.output_channel(port).send_flit(flit)
+
+    def send_credit(self, port: int, vc: int) -> None:
+        """Return one credit upstream for a flit consumed at input ``port``."""
+        channel = self._credit_out[port]
+        if channel is None:
+            raise WiringError(f"{self.full_name}: port {port} has no credit-out channel")
+        channel.send_credit(Credit(vc))

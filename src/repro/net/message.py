@@ -1,0 +1,104 @@
+"""Messages: the unit of workload traffic.
+
+Applications send messages between terminals.  The source interface
+segments a message into one or more packets (bounded by the maximum
+packet size), and the destination interface reassembles and delivers it.
+SuperSim additionally groups messages into *transactions* for
+request/response style workloads; we carry a transaction id through for
+the same purpose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.net.packet import Packet
+
+_global_message_ids = itertools.count()
+
+
+class Message:
+    """A variable-length payload from one terminal to another.
+
+    Attributes:
+        id: globally unique message id.
+        application_id: index of the generating application.
+        source / destination: terminal ids.
+        num_flits: total payload size in flits.
+        transaction_id: groups request/response messages; defaults to
+            the message's own id.
+        sampled: True when generated inside the workload's sampling
+            window; only sampled messages enter the statistics.
+        created_tick / delivered_tick: workload-level timestamps.
+        packets: filled in by :meth:`packetize`.
+    """
+
+    __slots__ = (
+        "id",
+        "application_id",
+        "source",
+        "destination",
+        "num_flits",
+        "transaction_id",
+        "sampled",
+        "created_tick",
+        "delivered_tick",
+        "packets",
+        "opaque",
+    )
+
+    def __init__(
+        self,
+        application_id: int,
+        source: int,
+        destination: int,
+        num_flits: int,
+        transaction_id: Optional[int] = None,
+    ):
+        if num_flits < 1:
+            raise ValueError(f"message must have at least 1 flit, got {num_flits}")
+        if source < 0 or destination < 0:
+            raise ValueError("terminal ids must be non-negative")
+        self.id = next(_global_message_ids)
+        self.application_id = application_id
+        self.source = source
+        self.destination = destination
+        self.num_flits = num_flits
+        self.transaction_id = transaction_id if transaction_id is not None else self.id
+        self.sampled = False
+        self.created_tick: Optional[int] = None
+        self.delivered_tick: Optional[int] = None
+        self.packets: List[Packet] = []
+        self.opaque = None  # free slot for application bookkeeping
+
+    def packetize(self, max_packet_flits: int) -> List[Packet]:
+        """Split the message into packets of at most ``max_packet_flits``."""
+        if max_packet_flits < 1:
+            raise ValueError(f"max packet size must be >= 1, got {max_packet_flits}")
+        if self.packets:
+            raise RuntimeError(f"message {self.id} already packetized")
+        remaining = self.num_flits
+        packet_id = 0
+        while remaining > 0:
+            size = min(remaining, max_packet_flits)
+            self.packets.append(Packet(self, packet_id, size))
+            packet_id += 1
+            remaining -= size
+        return self.packets
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.packets)
+
+    def latency(self) -> Optional[int]:
+        """End-to-end message latency in ticks, or None if undelivered."""
+        if self.delivered_tick is None or self.created_tick is None:
+            return None
+        return self.delivered_tick - self.created_tick
+
+    def __repr__(self):
+        return (
+            f"Message({self.id}, app={self.application_id}, "
+            f"{self.source}->{self.destination}, {self.num_flits}f)"
+        )

@@ -1,0 +1,264 @@
+"""Network base class (paper §IV-B).
+
+A Network component defines the topology and the routing algorithm used
+in it.  It does not define the architecture of the Router or the
+Interface -- it instantiates them through the object factory and
+connects them with Channel components.  When constructing a Network, the
+Network provides a routing-algorithm factory closure to each Router it
+creates; the router uses it to build RoutingAlgorithm instances per
+input port.  In this way the router microarchitecture and the topology
+with its accompanying routing algorithm are modeled independently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Type
+
+from repro import factory
+from repro.core.clock import Clock
+from repro.core.component import Component
+from repro.net.channel import Channel, CreditChannel
+from repro.net.device import PortedDevice
+from repro.net.interface import Interface, StandardInterface
+from repro.router.base import Router
+from repro.routing.base import RoutingAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config.settings import Settings
+    from repro.core.rng import RandomManager
+    from repro.core.simulator import Simulator
+
+
+class NetworkError(RuntimeError):
+    """Raised for inconsistent network construction."""
+
+
+def wire(
+    network: "Network",
+    a: PortedDevice,
+    port_a: int,
+    b: PortedDevice,
+    port_b: int,
+    latency: int,
+    period: int,
+) -> None:
+    """Connect two device ports with a full bidirectional link.
+
+    Creates four channels: flits a->b and b->a, credits a->b and b->a,
+    all with the same latency.  Also sizes each side's credit tracker
+    from the opposite side's input buffer capacities.
+    """
+    simulator = network.simulator
+    index = network._next_link_index()
+    for src, sp, dst, dp, tag in (
+        (a, port_a, b, port_b, "f0"),
+        (b, port_b, a, port_a, "f1"),
+    ):
+        channel = Channel(
+            simulator, f"link{index}_{tag}", network, latency, period
+        )
+        src.set_flit_channel_out(sp, channel)
+        channel.connect_sink(dst, dp)
+        network.flit_channels.append(channel)
+    for src, sp, dst, dp, tag in (
+        (a, port_a, b, port_b, "c0"),
+        (b, port_b, a, port_a, "c1"),
+    ):
+        channel = CreditChannel(simulator, f"link{index}_{tag}", network, latency)
+        src.set_credit_channel_out(sp, channel)
+        channel.connect_sink(dst, dp)
+    a.init_output_credits(port_a, b.input_buffer_capacities(port_b))
+    b.init_output_credits(port_b, a.input_buffer_capacities(port_a))
+
+
+class Network(Component):
+    """Abstract base: builds routers, interfaces, and channels.
+
+    Common settings:
+        ``num_vcs`` -- virtual channels per port (default 1).
+        ``channel_latency`` -- router-to-router latency in ticks.
+        ``terminal_channel_latency`` -- interface-to-router latency.
+        ``channel_period`` -- ticks per flit on every channel (a period
+            of 2 with the 1-tick router core models 2x frequency
+            speedup, §III-B).
+        ``router`` -- settings block for the router architecture
+            (``architecture`` selects the factory model).
+        ``interface`` -- settings block for the interface model
+            (``type`` defaults to ``standard``).
+        ``routing`` -- settings block; ``algorithm`` selects the model.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Optional[Component],
+        settings: "Settings",
+        random_manager: "RandomManager",
+    ):
+        super().__init__(simulator, name, parent)
+        self.settings = settings
+        self.random = random_manager
+        self.num_vcs = settings.get_uint("num_vcs", 1)
+        self.channel_latency = settings.get_uint("channel_latency", 1)
+        self.terminal_channel_latency = settings.get_uint(
+            "terminal_channel_latency", 1
+        )
+        self.channel_period = settings.get_uint("channel_period", 1)
+        self.core_clock = Clock(simulator, period=1)
+        self.channel_clock = Clock(simulator, period=self.channel_period)
+
+        self.router_settings = settings.child("router")
+        self.interface_settings = settings.child("interface", default={})
+        self.routing_settings = settings.child("routing")
+        self.routing_class: Type[RoutingAlgorithm] = factory.lookup(
+            RoutingAlgorithm, self.routing_settings.get_str("algorithm")
+        )
+        self._check_routing_compatible()
+
+        self.routers: List[Router] = []
+        self.interfaces: List[Interface] = []
+        self.flit_channels: List[Channel] = []
+        self._link_count = 0
+
+        self._build()
+        for router in self.routers:
+            router.finalize()
+        self._check_fully_wired()
+
+    # -- subclass contract -------------------------------------------------------
+
+    def _build(self) -> None:
+        """Create routers and interfaces and wire them together."""
+        raise NotImplementedError
+
+    @property
+    def compatible_routing(self) -> Tuple[str, ...]:
+        """Routing algorithm names usable on this topology."""
+        raise NotImplementedError
+
+    def minimal_hops(self, src_terminal: int, dst_terminal: int) -> int:
+        """Router-to-router hops on a minimal path (for analyses)."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses -----------------------------------------------------
+
+    def _check_routing_compatible(self) -> None:
+        algorithm = self.routing_settings.get_str("algorithm")
+        if algorithm in self.compatible_routing:
+            return
+        # User-defined algorithms (§III-D) declare their topology on the
+        # class instead of editing the packaged compatibility lists.
+        declared = getattr(self.routing_class, "topology", None)
+        topology = self.settings.get_str("topology", None)
+        if declared is not None and declared in ("*", topology):
+            return
+        raise NetworkError(
+            f"routing algorithm {algorithm!r} is not compatible with "
+            f"{type(self).__name__}; expected one of "
+            f"{self.compatible_routing}, or a class declaring "
+            f"topology={topology!r}"
+        )
+
+    def _next_link_index(self) -> int:
+        index = self._link_count
+        self._link_count += 1
+        return index
+
+    def _routing_factory(self) -> Callable[[Router, int], RoutingAlgorithm]:
+        def build(router: Router, input_port: int) -> RoutingAlgorithm:
+            return self.routing_class(
+                self, router, input_port, self.routing_settings
+            )
+
+        return build
+
+    def _create_router(self, name: str, router_id: int, num_ports: int) -> Router:
+        architecture = self.router_settings.get_str("architecture")
+        router = factory.create(
+            Router,
+            architecture,
+            self.simulator,
+            name,
+            self,
+            router_id,
+            num_ports,
+            self.num_vcs,
+            self.router_settings,
+            self._routing_factory(),
+            self.core_clock,
+            self.channel_clock,
+        )
+        self.routers.append(router)
+        return router
+
+    def _create_interface(self, interface_id: int) -> Interface:
+        kind = self.interface_settings.get_str("type", "standard")
+        injection_vcs = self.routing_class.injection_vcs(self.num_vcs)
+        interface = factory.create(
+            Interface,
+            kind,
+            self.simulator,
+            f"interface{interface_id}",
+            self,
+            interface_id,
+            self.num_vcs,
+            self.interface_settings,
+            self.channel_clock,
+            injection_vcs,
+        )
+        self.interfaces.append(interface)
+        return interface
+
+    def _wire_routers(self, a: Router, pa: int, b: Router, pb: int) -> None:
+        wire(self, a, pa, b, pb, self.channel_latency, self.channel_period)
+
+    def _wire_terminal(self, interface: Interface, router: Router, port: int) -> None:
+        wire(
+            self,
+            interface,
+            0,
+            router,
+            port,
+            self.terminal_channel_latency,
+            self.channel_period,
+        )
+
+    def _check_fully_wired(self) -> None:
+        for interface in self.interfaces:
+            if not interface.port_is_wired(0):
+                raise NetworkError(f"{interface.full_name} left unwired")
+
+    # -- public API -------------------------------------------------------------------
+
+    @property
+    def num_terminals(self) -> int:
+        return len(self.interfaces)
+
+    @property
+    def num_routers(self) -> int:
+        return len(self.routers)
+
+    def interface(self, terminal_id: int) -> Interface:
+        return self.interfaces[terminal_id]
+
+    def router(self, router_id: int) -> Router:
+        return self.routers[router_id]
+
+    def total_flits_in_flight(self) -> int:
+        """Injection backlog across all interfaces (drain diagnostics)."""
+        return sum(i.pending_flits() for i in self.interfaces)
+
+    def channel_utilization(self, window_ticks: int) -> List[Tuple[str, float]]:
+        """(channel name, flits per cycle) over ``window_ticks``.
+
+        Utilizations use each channel's lifetime flit count, so pass the
+        full run length; for windowed analyses use the message log.
+        Sorted most-loaded first -- the quick way to find hotspots.
+        """
+        report = [
+            (channel.name, channel.utilization(window_ticks))
+            for channel in self.flit_channels
+        ]
+        report.sort(key=lambda item: -item[1])
+        return report

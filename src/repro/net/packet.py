@@ -1,0 +1,98 @@
+"""Packets: the unit of routing.
+
+A packet carries a contiguous run of flits from one terminal to another.
+Routing state (the per-hop output decision, hop counts, algorithm
+scratch space) lives on the packet, because in a wormhole router the
+head flit makes decisions that all body flits follow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.net.flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+
+_global_packet_ids = itertools.count()
+
+
+class Packet:
+    """A routable sequence of flits belonging to a message.
+
+    Attributes:
+        message: owning message.
+        id: index of this packet within its message.
+        global_id: unique id across the whole simulation (debug aid).
+        flits: the flits of this packet, index order.
+        hop_count: number of routers traversed so far.
+        non_minimal: set by adaptive routing algorithms when the packet
+            took a non-minimal path (used by phantom-congestion analyses).
+        intermediate: Valiant-style intermediate destination, if any.
+        routing_state: free-form scratch dict for routing algorithms.
+        injection_tick: when the head flit entered the network.
+    """
+
+    __slots__ = (
+        "message",
+        "id",
+        "global_id",
+        "flits",
+        "hop_count",
+        "non_minimal",
+        "intermediate",
+        "routing_state",
+        "injection_tick",
+    )
+
+    def __init__(self, message: "Message", packet_id: int, num_flits: int):
+        if num_flits < 1:
+            raise ValueError(f"packet must have at least 1 flit, got {num_flits}")
+        self.message = message
+        self.id = packet_id
+        self.global_id = next(_global_packet_ids)
+        self.flits: List[Flit] = [
+            Flit(self, i, head=(i == 0), tail=(i == num_flits - 1))
+            for i in range(num_flits)
+        ]
+        self.hop_count = 0
+        self.non_minimal = False
+        self.intermediate: Optional[int] = None
+        self.routing_state: Dict[str, Any] = {}
+        self.injection_tick: Optional[int] = None
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def num_flits(self) -> int:
+        return len(self.flits)
+
+    @property
+    def head_flit(self) -> Flit:
+        return self.flits[0]
+
+    @property
+    def tail_flit(self) -> Flit:
+        return self.flits[-1]
+
+    @property
+    def source(self) -> int:
+        return self.message.source
+
+    @property
+    def destination(self) -> int:
+        return self.message.destination
+
+    def age(self, now_tick: int) -> int:
+        """Ticks since injection; used by age-based arbitration."""
+        if self.injection_tick is None:
+            return 0
+        return now_tick - self.injection_tick
+
+    def __repr__(self):
+        return (
+            f"Packet(g{self.global_id}, msg={self.message.id}, "
+            f"{self.source}->{self.destination}, {self.num_flits}f)"
+        )

@@ -1,0 +1,28 @@
+"""Epsilon conventions.
+
+Epsilons order operations within one tick (paper §III-B).  The
+simulator-wide convention used by all built-in components:
+
+========  =======================================================
+epsilon   what runs there
+========  =======================================================
+0         channel deliveries: flits and credits arrive
+1         terminal traffic generation (new messages appear)
+2         internal pipeline arrivals (crossbar traversal done)
+3         router / interface cycle step (allocation, transmission)
+5         workload state machine transitions
+7         monitors and statistics sampling
+========  =======================================================
+
+A component is free to use other epsilons, but sticking to these makes
+cross-component ordering predictable: everything that arrives at tick T
+is visible to the allocation step of tick T, and statistics observe the
+post-step state.
+"""
+
+EPS_DELIVER = 0
+EPS_GENERATE = 1
+EPS_PIPELINE = 2
+EPS_STEP = 3
+EPS_CONTROL = 5
+EPS_MONITOR = 7

@@ -1,0 +1,218 @@
+"""Congestion sensors (paper §VI-A, §VI-B).
+
+A congestion sensor turns credit/occupancy information into the
+congestion values consumed by adaptive routing algorithms.  Two aspects
+of real hardware that high-level simulators routinely idealize are
+modeled explicitly here:
+
+* **Propagation latency.**  Congestion information computed inside the
+  microarchitecture takes 5-20 cycles to reach all the input ports'
+  routing engines.  The sensor therefore exposes a *delayed* view:
+  changes recorded at tick T become visible at tick ``T + latency``.
+  Case study A (§VI-A) sweeps this latency and shows throughput
+  collapse on finite-queue routers.
+
+* **Accounting style.**  The IOQ architecture can report congestion per
+  VC or per port, and can count credits of the output queues, of the
+  downstream (next-hop) queues, or both (§VI-B).  The six combinations
+  are the subject of case study B.
+
+The sensor is event-free: pending updates are kept in a FIFO (latency is
+constant, so visibility order equals record order) and drained lazily on
+every query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro import factory
+from repro.core.component import Component
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config.settings import Settings
+    from repro.core.simulator import Simulator
+
+#: Which credit pools feed the congestion value.
+SOURCE_OUTPUT = "output"
+SOURCE_DOWNSTREAM = "downstream"
+SOURCE_BOTH = "both"
+
+#: Reporting granularity.
+GRANULARITY_VC = "vc"
+GRANULARITY_PORT = "port"
+
+#: Normalization depth used for infinite queues (see CreditSensor._value_for).
+_INFINITE_REFERENCE_DEPTH = 64.0
+
+
+class CongestionSensor(Component):
+    """Abstract congestion sensor API."""
+
+    def __init__(self, simulator, name, parent, num_ports: int, num_vcs: int):
+        super().__init__(simulator, name, parent)
+        self.num_ports = num_ports
+        self.num_vcs = num_vcs
+
+    def init_port(
+        self,
+        port: int,
+        output_capacity: Optional[List[int]] = None,
+        downstream_capacity: Optional[List[int]] = None,
+    ) -> None:
+        """Declare the credit capacities backing ``port``'s values."""
+        raise NotImplementedError
+
+    def record(self, source: str, port: int, vc: int, delta: int) -> None:
+        """Record an occupancy change (+1 flit entered, -1 left)."""
+        raise NotImplementedError
+
+    def status(self, port: int, vc: int) -> float:
+        """The congestion value routing algorithms see *now*.
+
+        Values are occupancy fractions in ``[0, 1]`` (or unbounded raw
+        flit counts for infinite queues), aggregated per the configured
+        granularity and source.  Higher means more congested.
+        """
+        raise NotImplementedError
+
+
+@factory.register(CongestionSensor, "credit")
+class CreditSensor(CongestionSensor):
+    """The packaged credit-counting sensor.
+
+    Settings:
+        ``latency`` -- propagation delay in ticks before a recorded
+            change becomes visible (default 1).
+        ``granularity`` -- ``"vc"`` or ``"port"`` (default ``"vc"``).
+        ``source`` -- ``"output"``, ``"downstream"``, or ``"both"``
+            (default ``"downstream"``).
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        name: str,
+        parent: Component,
+        num_ports: int,
+        num_vcs: int,
+        settings: "Settings",
+    ):
+        super().__init__(simulator, name, parent, num_ports, num_vcs)
+        self.latency = settings.get_uint("latency", 1)
+        self.granularity = settings.get_str("granularity", GRANULARITY_VC)
+        if self.granularity not in (GRANULARITY_VC, GRANULARITY_PORT):
+            raise ValueError(f"bad congestion granularity {self.granularity!r}")
+        self.source = settings.get_str("source", SOURCE_DOWNSTREAM)
+        if self.source not in (SOURCE_OUTPUT, SOURCE_DOWNSTREAM, SOURCE_BOTH):
+            raise ValueError(f"bad congestion source {self.source!r}")
+        # Sources never queried under this configuration are not tracked:
+        # their records are dropped on arrival (pure overhead otherwise).
+        if self.source == SOURCE_BOTH:
+            self._tracked = (SOURCE_OUTPUT, SOURCE_DOWNSTREAM)
+        else:
+            self._tracked = (self.source,)
+        # visible occupancy per (source, port, vc)
+        self._visible: Dict[Tuple[str, int, int], int] = {}
+        # capacity per (source, port, vc); None = infinite
+        self._capacity: Dict[Tuple[str, int, int], Optional[int]] = {}
+        self._ports_with: Dict[str, set] = {SOURCE_OUTPUT: set(), SOURCE_DOWNSTREAM: set()}
+        # pending (visible_tick, source, port, vc, delta), FIFO by visible_tick
+        self._pending: Deque[Tuple[int, str, int, int, int]] = deque()
+        # Per-tick memo: visible values only change when pending entries
+        # cross `now`, which cannot happen twice within one tick when the
+        # propagation latency is >= 1, so repeated status() queries in the
+        # same tick (adaptive routing fans over many ports) hit the cache.
+        self._memo_tick = -1
+        self._memo: Dict[Tuple[int, int], float] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def init_port(
+        self,
+        port: int,
+        output_capacity: Optional[List[int]] = None,
+        downstream_capacity: Optional[List[int]] = None,
+    ) -> None:
+        if output_capacity is not None:
+            self._ports_with[SOURCE_OUTPUT].add(port)
+            for vc, cap in enumerate(output_capacity):
+                self._visible[(SOURCE_OUTPUT, port, vc)] = 0
+                self._capacity[(SOURCE_OUTPUT, port, vc)] = cap
+        if downstream_capacity is not None:
+            self._ports_with[SOURCE_DOWNSTREAM].add(port)
+            for vc, cap in enumerate(downstream_capacity):
+                self._visible[(SOURCE_DOWNSTREAM, port, vc)] = 0
+                self._capacity[(SOURCE_DOWNSTREAM, port, vc)] = cap
+
+    # -- updates -----------------------------------------------------------------
+
+    def record(self, source: str, port: int, vc: int, delta: int) -> None:
+        if source not in self._tracked:
+            return
+        key = (source, port, vc)
+        if key not in self._visible:
+            raise KeyError(f"{self.full_name}: record for uninitialized {key}")
+        self._pending.append((self.simulator.tick + self.latency, source, port, vc, delta))
+
+    def _drain(self) -> None:
+        now = self.simulator.tick
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _tick, source, port, vc, delta = pending.popleft()
+            self._visible[(source, port, vc)] += delta
+
+    # -- queries ------------------------------------------------------------------
+
+    def _value_for(self, source: str, port: int, vc: int) -> Tuple[float, float]:
+        """(occupancy, capacity) for one key; capacity 0 when untracked."""
+        key = (source, port, vc)
+        if key not in self._visible:
+            return (0.0, 0.0)
+        occupancy = float(self._visible[key])
+        capacity = self._capacity[key]
+        if capacity is None:
+            # Infinite queue: normalize against a fixed reference depth so
+            # values remain monotone in occupancy (they may exceed 1.0,
+            # which is fine -- routing only compares relative magnitudes).
+            return (occupancy, _INFINITE_REFERENCE_DEPTH)
+        return (occupancy, float(capacity))
+
+    def status(self, port: int, vc: int) -> float:
+        if self.latency >= 1:
+            now = self.simulator.tick
+            if now != self._memo_tick:
+                self._memo_tick = now
+                self._memo.clear()
+            cached = self._memo.get((port, vc))
+            if cached is not None:
+                return cached
+        value = self._status_uncached(port, vc)
+        if self.latency >= 1:
+            self._memo[(port, vc)] = value
+        return value
+
+    def _status_uncached(self, port: int, vc: int) -> float:
+        self._drain()
+        sources = (
+            [SOURCE_OUTPUT, SOURCE_DOWNSTREAM]
+            if self.source == SOURCE_BOTH
+            else [self.source]
+        )
+        vcs = range(self.num_vcs) if self.granularity == GRANULARITY_PORT else [vc]
+        occupancy = 0.0
+        capacity = 0.0
+        for source in sources:
+            for v in vcs:
+                occ, cap = self._value_for(source, port, v)
+                occupancy += occ
+                capacity += cap
+        if capacity <= 0.0:
+            return 0.0
+        return occupancy / capacity
+
+    def raw_occupancy(self, source: str, port: int, vc: int) -> int:
+        """Undelayed *visible* flit count (after draining due updates)."""
+        self._drain()
+        return self._visible.get((source, port, vc), 0)

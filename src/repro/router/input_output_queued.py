@@ -1,0 +1,167 @@
+"""Input-output-queued (IOQ) router architecture (paper §IV-C, Fig. 6).
+
+The IOQ router extends the standard input-queued architecture into a
+combined input/output queued switch [Chuang et al.]: it has full
+crossbar input *and* output speedup and pipeline optimizations in both
+the input and output queues.  Flits wait in the input queues only until
+credits are available for the *output queues*; after arriving in the
+output queues they wait until downstream (next hop) credits are
+available.
+
+This is the architecture of case study B (§VI-B): its congestion sensor
+can account credits per VC or per port, and can count output-queue
+credits, downstream credits, or both -- six accounting styles total,
+configured entirely through the ``congestion_sensor`` settings block.
+
+With ``frequency speedup`` (core clock faster than the channel clock,
+Table I uses 2x) the crossbar performs multiple grants per channel
+cycle, which is what gives the architecture its output speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import factory
+from repro.core.event import Event
+from repro.net.buffer import FlitBuffer
+from repro.net.credit import CreditTracker
+from repro.net.phases import EPS_PIPELINE
+from repro.router.arbiter import Arbiter, create_arbiter
+from repro.router.base import Router
+from repro.router.congestion import SOURCE_OUTPUT
+from repro.router.crossbar_scheduler import Bid, CrossbarScheduler
+
+
+@factory.register(Router, "input_output_queued")
+class InputOutputQueuedRouter(Router):
+    """The combined input/output queued router model.
+
+    Extra settings:
+        ``output_queue_depth`` -- per-(port, VC) output queue capacity
+            in flits (default 64).
+        ``crossbar_scheduler`` -- flow control + arbiter configuration
+            for the input-to-output-queue crossbar.
+        ``output_arbiter`` -- arbiter choosing among VCs at each output
+            each channel cycle (default round robin).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.output_queue_depth = self.settings.get_uint("output_queue_depth", 64)
+        scheduler_settings = self.settings.child("crossbar_scheduler", default={})
+        self.scheduler = CrossbarScheduler(
+            self.num_ports,
+            self.num_vcs,
+            scheduler_settings,
+            credits_available=self._output_queue_credits,
+        )
+        self._queues: List[List[FlitBuffer]] = [
+            [
+                FlitBuffer(
+                    self.output_queue_depth, f"{self.full_name}.oq{p}.vc{v}"
+                )
+                for v in range(self.num_vcs)
+            ]
+            for p in range(self.num_ports)
+        ]
+        # Internal credits for output-queue slots (queued + in flight).
+        self._oq_credits: List[CreditTracker] = [
+            CreditTracker(
+                [self.output_queue_depth] * self.num_vcs,
+                owner_name=f"{self.full_name}.oqcredits{p}",
+            )
+            for p in range(self.num_ports)
+        ]
+        arbiter_settings = self.settings.child("output_arbiter", default={})
+        self._output_arbiters: List[Arbiter] = [
+            create_arbiter(arbiter_settings, self.num_vcs)
+            for _ in range(self.num_ports)
+        ]
+        self._in_flight = 0
+        # Flits sitting in output queues per port (drain-stage fast path).
+        self._queued_count = [0] * self.num_ports
+
+    def _output_queue_credits(self, out_port: int, out_vc: int) -> int:
+        return self._oq_credits[out_port].available(out_vc)
+
+    def _finalize_arch(self) -> None:
+        for port in range(self.num_ports):
+            if self.port_is_wired(port):
+                self.sensor.init_port(
+                    port,
+                    output_capacity=[self.output_queue_depth] * self.num_vcs,
+                )
+
+    # -- per-cycle behaviour ------------------------------------------------------
+
+    def _step_cycle(self) -> None:
+        self._drain_outputs()
+        self._update_input_vcs()
+        self._allocate_vcs()
+        self._run_crossbar()
+
+    def _has_work(self) -> bool:
+        if self._any_input_flits() or self._in_flight > 0:
+            return True
+        return any(count > 0 for count in self._queued_count)
+
+    def _drain_outputs(self) -> None:
+        """Per channel cycle, send one flit per port downstream."""
+        for port in range(self.num_ports):
+            if self._queued_count[port] == 0:
+                continue
+            if not self.output_channel(port).can_send():
+                continue
+            tracker = self.output_credit_tracker(port)
+            requests = []
+            for vc in range(self.num_vcs):
+                front = self._queues[port][vc].front()
+                if front is not None and tracker.has_credit(vc):
+                    requests.append((vc, front.packet))
+            if not requests:
+                continue
+            now = self.simulator.tick
+            vc = self._output_arbiters[port].arbitrate(requests, now)
+            flit = self._queues[port][vc].pop()
+            self._queued_count[port] -= 1
+            self._oq_credits[port].give(vc)
+            self.sensor.record(SOURCE_OUTPUT, port, vc, -1)
+            self.send_flit_out(port, flit)
+
+    def _run_crossbar(self) -> None:
+        bids: List[Bid] = []
+        for port, vc in self._occupied_inputs:
+            state = self._input_vcs[port][vc]
+            if not state.allocated:
+                continue
+            front = state.buffer.front()
+            if front is None:
+                continue
+            bids.append(
+                Bid(port, vc, state.packet, front, state.out_port, state.out_vc)
+            )
+        if not bids and not any(
+            self.scheduler.locked_owner(p) is not None for p in range(self.num_ports)
+        ):
+            return
+        now = self.simulator.tick
+        for grant in self.scheduler.schedule(bids, now):
+            out_port, out_vc = grant.out_port, grant.out_vc
+            flit = self._pop_input_flit(grant.in_port, grant.in_vc)
+            self._oq_credits[out_port].take(out_vc)
+            self.sensor.record(SOURCE_OUTPUT, out_port, out_vc, +1)
+            self._in_flight += 1
+            self.schedule(
+                self._core_arrival,
+                self.core_latency,
+                epsilon=EPS_PIPELINE,
+                data=(flit, out_port, out_vc),
+            )
+
+    def _core_arrival(self, event: Event) -> None:
+        flit, out_port, out_vc = event.data
+        self._queues[out_port][out_vc].push(flit)
+        self._queued_count[out_port] += 1
+        self._in_flight -= 1
+        self._wake()

@@ -1,0 +1,128 @@
+"""Input-queued (IQ) router architecture (paper §IV-C).
+
+Modeled after the standard input-queued architecture of Dally & Towles
+[11], with full crossbar input speedup (every input VC can traverse the
+crossbar in the same cycle) and an optimized input-queue pipeline for
+back-to-back packets (route + VC-allocate + first crossbar traversal can
+all happen in the arrival cycle).  Flits wait in the input queues until
+downstream (next hop) credits are available.
+
+The crossbar scheduler implements the flow control technique under
+study (``flit_buffer`` / ``packet_buffer`` / ``winner_take_all``,
+§VI-C) via the ``crossbar_scheduler`` settings block.
+
+Flits that win the crossbar consume their downstream credit at grant
+time, traverse the core in ``core_latency`` ticks, and land in a small
+per-port output staging register that drains onto the channel at the
+channel clock rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro import factory
+from repro.core.event import Event
+from repro.net.flit import Flit
+from repro.net.phases import EPS_PIPELINE
+from repro.router.base import Router
+from repro.router.congestion import SOURCE_DOWNSTREAM
+from repro.router.crossbar_scheduler import Bid, CrossbarScheduler
+
+
+@factory.register(Router, "input_queued")
+class InputQueuedRouter(Router):
+    """The standard IQ router model.
+
+    Extra settings:
+        ``crossbar_scheduler`` -- flow control + arbiter configuration.
+        ``output_staging_depth`` -- per-port staging register depth
+            decoupling the core clock from the channel clock (default 2).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.output_staging_depth = self.settings.get_uint("output_staging_depth", 2)
+        # The core is pipelined: up to core_latency flits are legitimately
+        # in flight to each output at once, plus the staging register
+        # itself.  Gating grants below this ceiling only throttles when
+        # the channel (not the core) is the bottleneck.
+        self._staging_limit = self.core_latency + self.output_staging_depth
+        scheduler_settings = self.settings.child("crossbar_scheduler", default={})
+        self.scheduler = CrossbarScheduler(
+            self.num_ports,
+            self.num_vcs,
+            scheduler_settings,
+            credits_available=self._downstream_credits,
+        )
+        self._staging: List[Deque[Flit]] = [deque() for _ in range(self.num_ports)]
+        # Committed staging slots per port: staged + in flight through core.
+        self._staging_committed = [0] * self.num_ports
+
+    def _downstream_credits(self, out_port: int, out_vc: int) -> int:
+        return self.output_credit_tracker(out_port).available(out_vc)
+
+    # -- per-cycle behaviour ---------------------------------------------------
+
+    def _step_cycle(self) -> None:
+        self._drain_staging()
+        self._update_input_vcs()
+        self._allocate_vcs()
+        self._run_crossbar()
+
+    def _has_work(self) -> bool:
+        if self._any_input_flits():
+            return True
+        return any(count > 0 for count in self._staging_committed)
+
+    def _drain_staging(self) -> None:
+        for port in range(self.num_ports):
+            staging = self._staging[port]
+            if not staging:
+                continue
+            if not self.output_channel(port).can_send():
+                continue
+            flit = staging.popleft()
+            self._staging_committed[port] -= 1
+            # Credit was taken at grant time: send without re-taking.
+            self.output_channel(port).send_flit(flit)
+            self.flits_sent += 1
+
+    def _run_crossbar(self) -> None:
+        bids: List[Bid] = []
+        for port, vc in self._occupied_inputs:
+            state = self._input_vcs[port][vc]
+            if not state.allocated:
+                continue
+            front = state.buffer.front()
+            if front is None:
+                continue
+            if self._staging_committed[state.out_port] >= self._staging_limit:
+                continue
+            bids.append(
+                Bid(port, vc, state.packet, front, state.out_port, state.out_vc)
+            )
+        if not bids and not any(
+            self.scheduler.locked_owner(p) is not None for p in range(self.num_ports)
+        ):
+            return
+        now = self.simulator.tick
+        for grant in self.scheduler.schedule(bids, now):
+            out_port, out_vc = grant.out_port, grant.out_vc
+            flit = self._pop_input_flit(grant.in_port, grant.in_vc)
+            # Consume the downstream credit now; the flit is prepaid.
+            self.output_credit_tracker(out_port).take(out_vc)
+            self.sensor.record(SOURCE_DOWNSTREAM, out_port, out_vc, +1)
+            self._staging_committed[out_port] += 1
+            self.schedule(
+                self._core_arrival,
+                self.core_latency,
+                epsilon=EPS_PIPELINE,
+                data=(flit, out_port),
+            )
+
+    def _core_arrival(self, event: Event) -> None:
+        flit, out_port = event.data
+        self._staging[out_port].append(flit)
+        self._wake()

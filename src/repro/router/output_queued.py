@@ -1,0 +1,184 @@
+"""Output-queued (OQ) router architecture (paper §IV-C).
+
+An idealistic architecture with zero head-of-line blocking and no
+scheduling conflicts: all input ports can simultaneously put flits into
+any output queue.  Output queues may be infinite or finite.  Because the
+model is devoid of VC allocation conflicts and crossbar scheduling it
+also simulates fast, which is why case study A (§VI-A) uses it -- the
+idealized datapath isolates the effect under study (latent congestion
+detection) from microarchitectural bottlenecks.
+
+Settings (beyond the Router base):
+    ``output_queue_depth`` -- per-(port, VC) output queue capacity in
+        flits; ``null``/absent means infinite.
+
+Flit life cycle: input buffer -> (route, claim output VC) -> commit a
+slot in the target output queue -> traverse the core (``core_latency``
+ticks, queue-to-queue) -> output queue -> downstream channel when the
+next-hop credit allows.
+
+The congestion sensor's ``output`` source tracks *committed* flits
+(queued plus in flight through the core), i.e. "the number of flits
+resident in the output queues" that Singh's UGAL work used.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro import factory
+from repro.core.event import Event
+from repro.net.buffer import FlitBuffer
+from repro.net.flit import Flit
+from repro.net.phases import EPS_PIPELINE
+from repro.router.arbiter import Arbiter, create_arbiter
+from repro.router.base import Router
+from repro.router.congestion import SOURCE_OUTPUT
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@factory.register(Router, "output_queued")
+class OutputQueuedRouter(Router):
+    """The idealized OQ router model."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        depth = self.settings.get("output_queue_depth", None)
+        if depth is not None and (not isinstance(depth, int) or depth < 1):
+            raise ValueError(f"output_queue_depth must be a positive int or null")
+        self.output_queue_depth: Optional[int] = depth
+        self._queues: List[List[FlitBuffer]] = [
+            [
+                FlitBuffer(None, f"{self.full_name}.oq{p}.vc{v}")
+                for v in range(self.num_vcs)
+            ]
+            for p in range(self.num_ports)
+        ]
+        # Committed slots per (port, vc): queued + in flight through the core.
+        self._committed: List[List[int]] = [
+            [0] * self.num_vcs for _ in range(self.num_ports)
+        ]
+        # Flits actually sitting in queues per port (drain-stage fast path).
+        self._queued_count = [0] * self.num_ports
+        arbiter_settings = self.settings.child("output_arbiter", default={})
+        self._output_arbiters: List[Arbiter] = [
+            create_arbiter(arbiter_settings, self.num_vcs)
+            for _ in range(self.num_ports)
+        ]
+
+    def _finalize_arch(self) -> None:
+        for port in range(self.num_ports):
+            if self.port_is_wired(port):
+                self.sensor.init_port(
+                    port,
+                    output_capacity=[self.output_queue_depth] * self.num_vcs,
+                )
+
+    # -- per-cycle behaviour -----------------------------------------------------
+
+    def _step_cycle(self) -> None:
+        self._drain_outputs()
+        self._update_input_vcs()
+        self._allocate_and_move()
+
+    def _has_work(self) -> bool:
+        if self._any_input_flits():
+            return True
+        for port in range(self.num_ports):
+            for vc in range(self.num_vcs):
+                if self._committed[port][vc] > 0:
+                    return True
+        return False
+
+    def _drain_outputs(self) -> None:
+        """Send one flit per port per channel cycle, credits permitting."""
+        for port in range(self.num_ports):
+            if self._queued_count[port] == 0:
+                continue
+            if not self.output_channel(port).can_send():
+                continue
+            tracker = self.output_credit_tracker(port)
+            requests = []
+            for vc in range(self.num_vcs):
+                front = self._queues[port][vc].front()
+                if front is not None and tracker.has_credit(vc):
+                    requests.append((vc, front.packet))
+            if not requests:
+                continue
+            now = self.simulator.tick
+            vc = self._output_arbiters[port].arbitrate(requests, now)
+            flit = self._queues[port][vc].pop()
+            self._committed[port][vc] -= 1
+            self._queued_count[port] -= 1
+            self.sensor.record(SOURCE_OUTPUT, port, vc, -1)
+            self.send_flit_out(port, flit)
+
+    def _allocate_and_move(self) -> None:
+        """Claim output VCs and move one flit per input VC into its
+        committed output queue, in a single fused pass.
+
+        No scheduling conflicts (§IV-C): every input VC with available
+        queue space moves simultaneously.  Fusing claim and move matters
+        for the idealized semantics -- a single-flit packet claims and
+        releases its output VC within the same pass, so *many* inputs
+        can enqueue into the same output queue in one cycle (the
+        "bombard a seemingly good output port" behaviour of adaptive
+        routing that case study A depends on).  Ownership only persists
+        across cycles for multi-flit packets, where it enforces wormhole
+        atomicity per VC.
+        """
+        if not self._occupied_inputs:
+            return
+        flat = sorted(self._occupied_inputs)
+        start = self._alloc_rotor % len(flat)  # fair rotation
+        self._alloc_rotor += 1
+        owner_table = self._output_vc_owner
+        for port, vc in flat[start:] + flat[:start]:
+            state = self._input_vcs[port][vc]
+            if state.packet is None:
+                continue
+            if not state.allocated:
+                for out_port, out_vc in state.candidates:
+                    key = (out_port, out_vc)
+                    if key in owner_table:
+                        continue
+                    if not self._admit(out_port, out_vc, state.packet):
+                        continue
+                    owner_table[key] = (port, vc)
+                    state.allocated = True
+                    state.out_port = out_port
+                    state.out_vc = out_vc
+                    break
+                else:
+                    continue
+            if state.buffer.is_empty():
+                continue
+            out_port, out_vc = state.out_port, state.out_vc
+            if (
+                self.output_queue_depth is not None
+                and self._committed[out_port][out_vc] >= self.output_queue_depth
+            ):
+                continue  # finite queue full: flit waits in the input
+            flit = self._pop_input_flit(port, vc)
+            self._committed[out_port][out_vc] += 1
+            self.sensor.record(SOURCE_OUTPUT, out_port, out_vc, +1)
+            self.schedule(
+                self._core_arrival,
+                self.core_latency,
+                epsilon=EPS_PIPELINE,
+                data=(flit, out_port, out_vc),
+            )
+
+    def _core_arrival(self, event: Event) -> None:
+        flit, out_port, out_vc = event.data
+        self._queues[out_port][out_vc].push(flit)
+        self._queued_count[out_port] += 1
+        self._wake()
+
+    # -- introspection ------------------------------------------------------------
+
+    def output_queue_occupancy(self, port: int, vc: int) -> int:
+        """Committed flits (queued + in flight) for one output VC."""
+        return self._committed[port][vc]

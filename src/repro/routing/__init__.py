@@ -1,0 +1,5 @@
+"""Routing algorithms for the packaged topologies (paper §IV-B)."""
+
+from repro.routing.base import Candidate, RoutingAlgorithm, RoutingError
+
+__all__ = ["Candidate", "RoutingAlgorithm", "RoutingError"]

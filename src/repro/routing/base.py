@@ -1,0 +1,138 @@
+"""Routing algorithm abstraction.
+
+A routing algorithm instance is attached to each router input port
+(paper §IV-B): when a packet's head flit reaches the front of an input
+VC buffer, the port's routing algorithm produces the set of admissible
+``(output port, output VC)`` pairs, ordered by preference.  The router's
+VC-allocation stage then claims the first candidate whose output VC is
+free.
+
+Routing algorithms are constructed through a factory closure that the
+Network hands to each Router it builds, so the router microarchitecture
+and the topology/routing pair stay independent (§IV-B).
+
+Error detection (§IV-D): the base class validates every response --
+ports must be wired, VCs must be inside the set registered to the
+algorithm -- so a buggy user algorithm fails loudly and immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config.settings import Settings
+    from repro.net.packet import Packet
+    from repro.router.base import Router
+
+#: A routing response entry: (output_port, output_vc).
+Candidate = Tuple[int, int]
+
+
+class RoutingError(RuntimeError):
+    """Raised when a routing algorithm produces an invalid response."""
+
+
+class RoutingAlgorithm:
+    """Base class for per-input-port routing engines."""
+
+    #: User-defined algorithms declare the topology factory name they
+    #: support here (e.g. ``"torus"``; ``"*"`` = any topology).  The
+    #: packaged algorithms are instead listed in each Network's
+    #: ``compatible_routing`` property; either mechanism satisfies the
+    #: network's compatibility check.
+    topology: Optional[str] = None
+
+    def __init__(
+        self,
+        network,
+        router: "Router",
+        input_port: int,
+        settings: "Settings",
+    ):
+        self.network = network
+        self.router = router
+        self.input_port = input_port
+        self.settings = settings
+        # The VCs this algorithm has registered itself to use.  Responses
+        # using other VCs are rejected (§IV-D).
+        self._registered_vcs = frozenset(range(router.num_vcs))
+        # (port, vc) pairs already validated; validity is static per
+        # algorithm instance, so each pair is checked exactly once.
+        self._validated: set = set()
+
+    # -- VC registration ---------------------------------------------------------
+
+    def register_vcs(self, vcs: Sequence[int]) -> None:
+        """Restrict responses to this VC set (e.g. a traffic class)."""
+        vcs = frozenset(vcs)
+        for vc in vcs:
+            if not 0 <= vc < self.router.num_vcs:
+                raise RoutingError(f"registered VC {vc} out of range")
+        self._registered_vcs = vcs
+        self._validated.clear()
+
+    @property
+    def registered_vcs(self) -> frozenset:
+        return self._registered_vcs
+
+    # -- the algorithm -------------------------------------------------------------
+
+    @classmethod
+    def injection_vcs(cls, num_vcs: int) -> List[int]:
+        """VCs on which packets may enter the network.
+
+        Topology routing algorithms override this when deadlock freedom
+        requires packets to start in a particular VC class (e.g. torus
+        dateline VC 0).
+        """
+        return list(range(num_vcs))
+
+    def route(self, packet: "Packet", input_vc: int) -> List[Candidate]:
+        """Produce admissible (port, vc) candidates, best first."""
+        raise NotImplementedError
+
+    # -- validated entry point used by routers ---------------------------------------
+
+    def respond(self, packet: "Packet", input_vc: int) -> List[Candidate]:
+        response = self.route(packet, input_vc)
+        if not response:
+            raise RoutingError(
+                f"{type(self).__name__} at {self.router.full_name}.in"
+                f"{self.input_port} produced no route for {packet!r}"
+            )
+        validated = self._validated
+        for candidate in response:
+            if candidate in validated:
+                continue
+            port, vc = candidate
+            if not 0 <= port < self.router.num_ports:
+                raise RoutingError(
+                    f"routing response port {port} out of range at "
+                    f"{self.router.full_name}"
+                )
+            if not self.router.port_is_wired(port):
+                raise RoutingError(
+                    f"routing response targets unused output port {port} at "
+                    f"{self.router.full_name} for {packet!r}"
+                )
+            if vc not in self._registered_vcs:
+                raise RoutingError(
+                    f"routing response VC {vc} not registered to "
+                    f"{type(self).__name__} at {self.router.full_name}"
+                )
+            validated.add(candidate)
+        return response
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def congestion(self, port: int, vc: int) -> float:
+        """Sensed congestion for a candidate (delayed view, §VI-A)."""
+        return self.router.congestion_status(port, vc)
+
+    def port_congestion(self, port: int, vcs: Sequence[int]) -> float:
+        """Mean sensed congestion across ``vcs`` of ``port``."""
+        vcs = list(vcs)
+        if not vcs:
+            return 0.0
+        return sum(self.router.congestion_status(port, vc) for vc in vcs) / len(vcs)

@@ -1,0 +1,101 @@
+"""Folded-Clos routing: deterministic and adaptive uprouting.
+
+Both algorithms use the classic up*/down* scheme of the k-ary n-tree:
+ascend until reaching an ancestor of the destination, then descend
+deterministically by destination digit.  They differ only in how the up
+port is chosen:
+
+``clos_deterministic`` -- a hash of (source, destination) picks the up
+port at every level, spreading pairs across the fabric while keeping
+each pair's path fixed (in-order delivery per pair).
+
+``clos_adaptive`` -- the adaptive uprouting of case study A (after Kim
+et al., "Adaptive Routing in High-Radix Clos Networks"): each packet
+chooses the *least congested* up port, as reported by the router's
+congestion sensor.  Because the sensor's view is delayed by its
+propagation latency, stale values make many input ports' routing
+engines bombard the same seemingly-good output -- the effect §VI-A
+quantifies.
+
+Up*/down* routing is deadlock-free with a single VC (the channel
+dependency graph of a tree orientation is acyclic), so all VCs are
+admissible everywhere and packets may inject on any VC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import factory
+from repro.routing.base import Candidate, RoutingAlgorithm
+
+
+class _ClosRoutingBase(RoutingAlgorithm):
+    """Shared up*/down* structure; subclasses order the up ports."""
+
+    def __init__(self, network, router, input_port, settings):
+        super().__init__(network, router, input_port, settings)
+        self.level, self.index = router.address
+        self.half_radix = network.half_radix
+        self.num_levels = network.num_levels
+        # The down-routing decision is static per destination for a given
+        # router: cache (is_ancestor, down_candidates) per terminal id.
+        self._down_cache: dict = {}
+
+    def route(self, packet, input_vc: int) -> List[Candidate]:
+        dst = packet.destination
+        down = self._down_cache.get(dst)
+        if down is None:
+            num_vcs = self.router.num_vcs
+            if self.network.is_ancestor(self.level, self.index, dst):
+                # Descend (or eject at level 0): down port = dst digit.
+                down_port = self.network.terminal_digits(dst)[self.level]
+                down = [(down_port, vc) for vc in range(num_vcs)]
+            else:
+                down = []
+            self._down_cache[dst] = down
+        if down:
+            return down
+        num_vcs = self.router.num_vcs
+        up_ports = self._ordered_up_ports(packet)
+        return [(port, vc) for port in up_ports for vc in range(num_vcs)]
+
+    def _ordered_up_ports(self, packet) -> List[int]:
+        raise NotImplementedError
+
+
+@factory.register(RoutingAlgorithm, "clos_deterministic")
+class ClosDeterministicRouting(_ClosRoutingBase):
+    """Hash-based deterministic uprouting (in-order per src/dst pair)."""
+
+    def _ordered_up_ports(self, packet) -> List[int]:
+        k = self.half_radix
+        mix = (
+            packet.source * 2654435761 + packet.destination * 40503 + self.level
+        ) & 0xFFFFFFFF
+        chosen = mix % k
+        # The hashed port first; the rest follow as a fallback ordering
+        # (they are only used if the first choice's VCs are all owned).
+        return [k + (chosen + i) % k for i in range(k)]
+
+
+@factory.register(RoutingAlgorithm, "clos_adaptive")
+class ClosAdaptiveRouting(_ClosRoutingBase):
+    """Least-congested uprouting driven by the (delayed) sensor."""
+
+    def _ordered_up_ports(self, packet) -> List[int]:
+        k = self.half_radix
+        num_vcs = self.router.num_vcs
+        # Rotate the tie-break origin per packet so equal sensed values
+        # spread uniformly instead of herding onto the lowest port.
+        rotation = packet.global_id % k
+        congestion_status = self.router.congestion_status
+        scored = []
+        for i in range(k):
+            up = (rotation + i) % k
+            port = k + up
+            # The sensor's configured granularity already aggregates VCs
+            # for port-level accounting; query VC 0 as the representative.
+            scored.append((congestion_status(port, 0), port))
+        scored.sort(key=lambda pair: pair[0])  # stable: rotation breaks ties
+        return [port for _congestion, port in scored]

@@ -1,0 +1,167 @@
+"""Torus routing algorithms.
+
+``torus_dimension_order`` -- deterministic dimension order routing (DOR)
+with dateline VC classes, the algorithm of case study C (Table I).
+Packets resolve dimension 0 completely, then dimension 1, and so on.
+Deadlock freedom on each ring uses the dateline scheme [11]: packets
+start a dimension in VC class 0 and switch to class 1 on the hop that
+crosses the wrap-around link; since DOR travel within a dimension is
+monotone, at most one crossing occurs.  With ``V`` virtual channels,
+even VCs form class 0 and odd VCs class 1 (so V must be even and >= 2).
+
+``torus_minimal_adaptive`` -- Duato-style minimal adaptive routing: any
+profitable dimension may be taken on the adaptive VC class, ordered by
+sensed congestion, with DOR on the escape class as the last candidate.
+The escape class keeps the network deadlock-free; the adaptive class
+(the upper half of the VCs) may be claimed in any order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import factory
+from repro.routing.base import Candidate, RoutingAlgorithm, RoutingError
+from repro.topology.util import ring_distance
+
+
+class _TorusRoutingBase(RoutingAlgorithm):
+    """Shared coordinate helpers for torus routing."""
+
+    def __init__(self, network, router, input_port, settings):
+        super().__init__(network, router, input_port, settings)
+        self.coords = router.address
+        self.widths = network.widths
+        self.concentration = network.concentration
+
+    def _ejection_candidates(self, packet) -> List[Candidate]:
+        port = self.network.terminal_port(packet.destination)
+        return [(port, vc) for vc in range(self.router.num_vcs)]
+
+    def _first_differing_dimension(self, dst_coords) -> int:
+        for dim, (own, dst) in enumerate(zip(self.coords, dst_coords)):
+            if own != dst:
+                return dim
+        raise RoutingError("no differing dimension at a non-destination router")
+
+    def _dst_coords(self, packet):
+        return self.network.router_coords(
+            self.network.terminal_router(packet.destination)
+        )
+
+    def _dateline_class(self, packet, dim: int, direction: int) -> int:
+        """0 before the dateline, 1 at or after the wrap hop.
+
+        Geometric test: remember where the packet started traveling in
+        this dimension; since minimal travel within a ring is monotone,
+        it has crossed the wrap iff it moved "backwards" relative to its
+        start.  The hop that wraps itself already uses class 1.
+        """
+        own = self.coords[dim]
+        width = self.widths[dim]
+        state = packet.routing_state
+        if state.get("dl_dim") != dim:
+            state["dl_dim"] = dim
+            state["dl_start"] = own
+        start = state["dl_start"]
+        crossed = (direction == +1 and own < start) or (
+            direction == -1 and own > start
+        )
+        wraps = (direction == +1 and own == width - 1) or (
+            direction == -1 and own == 0
+        )
+        return 1 if (crossed or wraps) else 0
+
+
+@factory.register(RoutingAlgorithm, "torus_dimension_order")
+class TorusDimensionOrderRouting(_TorusRoutingBase):
+    """Deterministic DOR with dateline VC classes."""
+
+    def __init__(self, network, router, input_port, settings):
+        super().__init__(network, router, input_port, settings)
+        if router.num_vcs < 2 or router.num_vcs % 2 != 0:
+            raise RoutingError(
+                "torus_dimension_order needs an even number of VCs >= 2 "
+                f"for the dateline scheme, got {router.num_vcs}"
+            )
+
+    @classmethod
+    def injection_vcs(cls, num_vcs: int) -> List[int]:
+        # Packets enter the network in dateline class 0 (even VCs).
+        return [vc for vc in range(num_vcs) if vc % 2 == 0]
+
+    def route(self, packet, input_vc: int) -> List[Candidate]:
+        dst_router = self.network.terminal_router(packet.destination)
+        if dst_router == self.router.router_id:
+            return self._ejection_candidates(packet)
+        dst_coords = self.network.router_coords(dst_router)
+        dim = self._first_differing_dimension(dst_coords)
+        width = self.widths[dim]
+        _hops, direction = ring_distance(self.coords[dim], dst_coords[dim], width)
+        port = self.network.port_for(dim, direction)
+        vc_class = self._dateline_class(packet, dim, direction)
+
+        vcs = [vc for vc in range(self.router.num_vcs) if vc % 2 == vc_class]
+        rotation = packet.global_id % len(vcs)
+        vcs = vcs[rotation:] + vcs[:rotation]
+        return [(port, vc) for vc in vcs]
+
+
+@factory.register(RoutingAlgorithm, "torus_minimal_adaptive")
+class TorusMinimalAdaptiveRouting(_TorusRoutingBase):
+    """Minimal adaptive routing with a DOR escape class.
+
+    VC layout: the lower half of the VCs is the escape class (even/odd
+    dateline pairs, exactly as ``torus_dimension_order``); the upper
+    half is the fully adaptive class.  Needs ``num_vcs`` divisible by 4.
+    """
+
+    def __init__(self, network, router, input_port, settings):
+        super().__init__(network, router, input_port, settings)
+        if router.num_vcs < 4 or router.num_vcs % 4 != 0:
+            raise RoutingError(
+                "torus_minimal_adaptive needs num_vcs divisible by 4 "
+                f"(escape pairs + adaptive class), got {router.num_vcs}"
+            )
+        self.escape_vcs = router.num_vcs // 2
+
+    @classmethod
+    def injection_vcs(cls, num_vcs: int) -> List[int]:
+        return [vc for vc in range(num_vcs // 2) if vc % 2 == 0]
+
+    def route(self, packet, input_vc: int) -> List[Candidate]:
+        dst_router = self.network.terminal_router(packet.destination)
+        if dst_router == self.router.router_id:
+            return self._ejection_candidates(packet)
+        dst_coords = self._dst_coords(packet)
+
+        # Adaptive candidates: every profitable dimension, least
+        # congested first, on the adaptive (upper-half) VCs.
+        profitable: List[Tuple[float, int]] = []
+        for dim, (own, dst) in enumerate(zip(self.coords, dst_coords)):
+            if own == dst:
+                continue
+            _hops, direction = ring_distance(own, dst, self.widths[dim])
+            port = self.network.port_for(dim, direction)
+            adaptive_vcs = range(self.escape_vcs, self.router.num_vcs)
+            congestion = self.port_congestion(port, adaptive_vcs)
+            profitable.append((congestion, port))
+        profitable.sort()
+        candidates: List[Candidate] = [
+            (port, vc)
+            for _congestion, port in profitable
+            for vc in range(self.escape_vcs, self.router.num_vcs)
+        ]
+
+        # Escape candidates: plain DOR with datelines on the lower half.
+        dim = self._first_differing_dimension(dst_coords)
+        width = self.widths[dim]
+        _hops, direction = ring_distance(self.coords[dim], dst_coords[dim], width)
+        port = self.network.port_for(dim, direction)
+        vc_class = self._dateline_class(packet, dim, direction)
+        candidates.extend(
+            (port, vc)
+            for vc in range(self.escape_vcs)
+            if vc % 2 == vc_class
+        )
+        return candidates

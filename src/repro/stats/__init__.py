@@ -1,0 +1,19 @@
+"""Statistics: message records, latency distributions, timelines."""
+
+from repro.stats.latency import STANDARD_PERCENTILES, LatencyDistribution
+from repro.stats.monitor import ProgressMonitor, ProgressSample
+from repro.stats.records import MessageLog, MessageRecord, PacketRecord, read_jsonl
+from repro.stats.timeline import delivery_rate_timeline, latency_timeline
+
+__all__ = [
+    "LatencyDistribution",
+    "MessageLog",
+    "MessageRecord",
+    "PacketRecord",
+    "ProgressMonitor",
+    "ProgressSample",
+    "STANDARD_PERCENTILES",
+    "delivery_rate_timeline",
+    "latency_timeline",
+    "read_jsonl",
+]

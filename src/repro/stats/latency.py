@@ -1,0 +1,112 @@
+"""Latency distributions and percentiles.
+
+Of critical importance to all the analysis tools is analyzing and
+viewing latency *distributions*, not just average latency (paper §V):
+the percentile distribution tells you the expected latency for N-way
+parallelism (the 99.9th percentile is the latency 1 in 1000 packets
+exceeds, i.e. what a 1000-wide collective operation should expect).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The percentile ladder used by load-vs-latency plots (Fig. 8).
+STANDARD_PERCENTILES = (50.0, 90.0, 99.0, 99.9, 99.99)
+
+
+class LatencyDistribution:
+    """An empirical distribution of latency samples (ticks)."""
+
+    def __init__(self, samples: Iterable[float]):
+        self._samples = np.asarray(sorted(samples), dtype=float)
+
+    @classmethod
+    def from_records(cls, records, kind: str = "message") -> "LatencyDistribution":
+        """Build from MessageRecords.
+
+        ``kind``: ``"message"`` (creation to delivery), ``"network"``
+        (wire time only), or ``"packet"`` (every packet separately).
+        """
+        if kind == "message":
+            return cls(r.latency for r in records)
+        if kind == "network":
+            return cls(r.network_latency for r in records)
+        if kind == "packet":
+            return cls(p.latency for r in records for p in r.packets)
+        raise ValueError(f"unknown latency kind {kind!r}")
+
+    # -- basic statistics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        return len(self._samples) == 0
+
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if len(self._samples) else float("nan")
+
+    def minimum(self) -> float:
+        return float(self._samples[0]) if len(self._samples) else float("nan")
+
+    def maximum(self) -> float:
+        return float(self._samples[-1]) if len(self._samples) else float("nan")
+
+    def std(self) -> float:
+        return float(np.std(self._samples)) if len(self._samples) else float("nan")
+
+    def percentile(self, percent: float) -> float:
+        """The latency not exceeded by ``percent``% of samples."""
+        if not len(self._samples):
+            return float("nan")
+        if not 0.0 <= percent <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {percent}")
+        return float(np.percentile(self._samples, percent, method="lower"))
+
+    def summary(
+        self, percentiles: Sequence[float] = STANDARD_PERCENTILES
+    ) -> Dict[str, float]:
+        result = {"count": float(len(self._samples)), "mean": self.mean()}
+        for percent in percentiles:
+            result[f"p{percent:g}"] = self.percentile(percent)
+        return result
+
+    # -- distribution shapes (SSPlot inputs) --------------------------------------------
+
+    def pdf(self, num_bins: int = 50) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin_centers, density) suitable for a PDF plot."""
+        if self.empty:
+            return np.array([]), np.array([])
+        density, edges = np.histogram(self._samples, bins=num_bins, density=True)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        return centers, density
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(latency, cumulative_fraction) suitable for a CDF plot."""
+        if self.empty:
+            return np.array([]), np.array([])
+        fractions = np.arange(1, len(self._samples) + 1) / len(self._samples)
+        return self._samples.copy(), fractions
+
+    def percentile_curve(
+        self, max_nines: int = 4, points_per_decade: int = 20
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The percentile-distribution plot of Fig. 7.
+
+        X is latency; Y is the number of "nines" of the percentile
+        (log-scaled tail: 0.9 -> 1, 0.99 -> 2, ...).  Returns
+        (latencies, nines).
+        """
+        if self.empty:
+            return np.array([]), np.array([])
+        nines = np.linspace(0.0, float(max_nines), max_nines * points_per_decade)
+        percents = (1.0 - 10.0 ** (-nines)) * 100.0
+        latencies = np.array([self.percentile(p) for p in percents])
+        return latencies, nines
+
+    def samples(self) -> np.ndarray:
+        return self._samples.copy()

@@ -1,0 +1,56 @@
+"""Time-binned statistics for transient analyses (paper Fig. 5).
+
+The Blast/Pulse transient experiment plots mean latency against message
+injection time; :func:`latency_timeline` produces exactly that series
+from message records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def latency_timeline(
+    records: Sequence,
+    bin_ticks: int,
+    start_tick: Optional[int] = None,
+    end_tick: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bin records by creation time and average their latency.
+
+    Returns ``(bin_centers, mean_latency, counts)``; bins with no
+    samples hold NaN latency.
+    """
+    if bin_ticks < 1:
+        raise ValueError(f"bin_ticks must be >= 1, got {bin_ticks}")
+    if not records:
+        return np.array([]), np.array([]), np.array([])
+    created = np.array([r.created_tick for r in records], dtype=float)
+    latency = np.array([r.latency for r in records], dtype=float)
+    lo = float(start_tick) if start_tick is not None else created.min()
+    hi = float(end_tick) if end_tick is not None else created.max() + 1
+    edges = np.arange(lo, hi + bin_ticks, bin_ticks)
+    counts, _ = np.histogram(created, bins=edges)
+    sums, _ = np.histogram(created, bins=edges, weights=latency)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, means, counts
+
+
+def delivery_rate_timeline(
+    records: Sequence,
+    bin_ticks: int,
+    num_terminals: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Delivered flits per terminal per tick, binned by delivery time."""
+    if not records:
+        return np.array([]), np.array([])
+    delivered = np.array([r.delivered_tick for r in records], dtype=float)
+    flits = np.array([r.num_flits for r in records], dtype=float)
+    edges = np.arange(delivered.min(), delivered.max() + bin_ticks, bin_ticks)
+    totals, _ = np.histogram(delivered, bins=edges, weights=flits)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, totals / (bin_ticks * num_terminals)

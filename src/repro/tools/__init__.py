@@ -1,0 +1,6 @@
+"""The accompanying tool suite (paper §V): taskrun, sssweep, ssparse,
+ssplot."""
+
+from repro.tools import ssparse, ssplot, sssweep, taskrun
+
+__all__ = ["ssparse", "ssplot", "sssweep", "taskrun"]

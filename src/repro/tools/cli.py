@@ -1,0 +1,100 @@
+"""Command line executables for the tool suite (paper §V).
+
+SSParse and SSPlot are usable both as Python packages and as command
+line tools; these are the CLI faces:
+
+``ssparse``::
+
+    ssparse messages.jsonl +app=0 +send=500-1000 --csv out.csv
+
+prints the latency/hop summary of the filtered records and optionally
+exports raw samples.
+
+``ssplot``::
+
+    ssplot messages.jsonl --kind percentile --csv fig.csv
+    ssplot messages.jsonl --kind timeline --bin 250
+    ssplot messages.jsonl --kind cdf
+
+renders the requested plot as ASCII on stdout and optionally exports
+the numeric series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.stats.latency import LatencyDistribution
+from repro.tools import ssplot
+from repro.tools.ssparse import parse_file
+
+
+def ssparse_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssparse",
+        description="Parse a simulation message log and report "
+        "latency/hop statistics",
+    )
+    parser.add_argument("log", help="JSONL message log from a simulation")
+    parser.add_argument(
+        "filters",
+        nargs="*",
+        help="filters like +app=0, -sampled=false, +send=500-1000",
+    )
+    parser.add_argument("--csv", help="also export raw samples as CSV")
+    args = parser.parse_args(argv)
+
+    result = parse_file(args.log, args.filters)
+    json.dump(result.summary(), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if args.csv:
+        count = result.write_csv(args.csv)
+        print(f"wrote {count} records to {args.csv}", file=sys.stderr)
+    return 0 if len(result) else 1
+
+
+_PLOT_KINDS = ("percentile", "pdf", "cdf", "timeline")
+
+
+def ssplot_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssplot",
+        description="Render latency plots from a simulation message log",
+    )
+    parser.add_argument("log", help="JSONL message log from a simulation")
+    parser.add_argument("filters", nargs="*",
+                        help="ssparse-style record filters")
+    parser.add_argument("--kind", choices=_PLOT_KINDS, default="percentile")
+    parser.add_argument("--bin", type=int, default=100,
+                        help="bin width in ticks (timeline only)")
+    parser.add_argument("--latency", choices=("message", "network", "packet"),
+                        default="message", help="which latency to plot")
+    parser.add_argument("--csv", help="export the numeric series as CSV")
+    parser.add_argument("--width", type=int, default=72)
+    parser.add_argument("--height", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    result = parse_file(args.log, args.filters)
+    if not len(result):
+        print("no records match the filters", file=sys.stderr)
+        return 1
+
+    if args.kind == "timeline":
+        plot = ssplot.latency_vs_time(result.records, args.bin)
+    else:
+        distribution = result.latency(args.latency)
+        if args.kind == "percentile":
+            plot = ssplot.percentile_distribution(distribution)
+        elif args.kind == "pdf":
+            plot = ssplot.latency_pdf(distribution)
+        else:
+            plot = ssplot.latency_cdf(distribution)
+
+    sys.stdout.write(plot.render_ascii(width=args.width, height=args.height))
+    if args.csv:
+        plot.write_csv(args.csv)
+        print(f"wrote series to {args.csv}", file=sys.stderr)
+    return 0

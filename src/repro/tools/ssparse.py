@@ -1,0 +1,202 @@
+"""ssparse: parse simulation transaction logs (paper §V, [23]).
+
+During the sampling window the simulator logs network transaction
+information (here: the JSON-lines format written by
+:meth:`repro.stats.records.MessageLog.write_jsonl`).  SSParse digests
+that format and generates latency- and hop-count-based information for
+packets, messages, and transactions -- aggregate distributions as well
+as raw samples for plotting.
+
+The filtering mechanism follows the original's syntax: each filter is
+``(+|-)field=spec`` where ``+`` keeps matching records and ``-`` drops
+them; filters apply conjunctively in order.  Field specs:
+
+* exact value:  ``+app=0``, ``+src=17``, ``+sampled=true``
+* ranges:       ``+send=500-1000`` (inclusive), open ends allowed
+                (``+send=500-``)
+* sets:         ``+dst=1,2,3``
+
+Supported fields: ``app``, ``src``, ``dst``, ``size`` (flits),
+``send`` (creation tick), ``recv`` (delivery tick), ``latency``,
+``hops``, ``sampled``, ``nonmin``, ``txn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.stats.latency import LatencyDistribution
+from repro.stats.records import MessageRecord, read_jsonl
+
+
+class FilterError(ValueError):
+    """Raised for malformed filter expressions."""
+
+
+_FIELD_GETTERS: Dict[str, Callable[[MessageRecord], object]] = {
+    "app": lambda r: r.application_id,
+    "src": lambda r: r.source,
+    "dst": lambda r: r.destination,
+    "size": lambda r: r.num_flits,
+    "send": lambda r: r.created_tick,
+    "recv": lambda r: r.delivered_tick,
+    "latency": lambda r: r.latency,
+    "hops": lambda r: max(p.hop_count for p in r.packets),
+    "sampled": lambda r: r.sampled,
+    "nonmin": lambda r: r.non_minimal,
+    "txn": lambda r: r.transaction_id,
+}
+
+_BOOL_FIELDS = ("sampled", "nonmin")
+
+
+class Filter:
+    """One parsed ``(+|-)field=spec`` filter."""
+
+    def __init__(self, expression: str):
+        if len(expression) < 4 or expression[0] not in "+-":
+            raise FilterError(
+                f"filter must look like +field=spec or -field=spec, "
+                f"got {expression!r}"
+            )
+        self.keep = expression[0] == "+"
+        body = expression[1:]
+        if "=" not in body:
+            raise FilterError(f"filter missing '=': {expression!r}")
+        field, spec = body.split("=", 1)
+        if field not in _FIELD_GETTERS:
+            raise FilterError(
+                f"unknown filter field {field!r}; known: "
+                f"{sorted(_FIELD_GETTERS)}"
+            )
+        self.field = field
+        self.getter = _FIELD_GETTERS[field]
+        self._predicate = self._build_predicate(field, spec)
+
+    def _build_predicate(self, field: str, spec: str):
+        if field in _BOOL_FIELDS:
+            lowered = spec.lower()
+            if lowered not in ("true", "false", "1", "0"):
+                raise FilterError(f"bad boolean spec {spec!r} for {field}")
+            wanted = lowered in ("true", "1")
+            return lambda value: bool(value) == wanted
+        if "," in spec:
+            values = {int(v) for v in spec.split(",") if v}
+            return lambda value: value in values
+        if "-" in spec:
+            lo_text, hi_text = spec.split("-", 1)
+            lo = int(lo_text) if lo_text else None
+            hi = int(hi_text) if hi_text else None
+            def in_range(value, lo=lo, hi=hi):
+                if lo is not None and value < lo:
+                    return False
+                if hi is not None and value > hi:
+                    return False
+                return True
+            return in_range
+        wanted = int(spec)
+        return lambda value: value == wanted
+
+    def matches(self, record: MessageRecord) -> bool:
+        return bool(self._predicate(self.getter(record)))
+
+    def admits(self, record: MessageRecord) -> bool:
+        """Apply keep/drop polarity."""
+        match = self.matches(record)
+        return match if self.keep else not match
+
+
+def apply_filters(
+    records: Iterable[MessageRecord], expressions: Sequence[str]
+) -> List[MessageRecord]:
+    """Keep records admitted by every filter (conjunctive)."""
+    filters = [Filter(e) for e in expressions]
+    return [r for r in records if all(f.admits(r) for f in filters)]
+
+
+class ParseResult:
+    """Aggregated view over a filtered record set."""
+
+    def __init__(self, records: List[MessageRecord]):
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def latency(self, kind: str = "message") -> LatencyDistribution:
+        return LatencyDistribution.from_records(self.records, kind)
+
+    def hop_counts(self) -> List[int]:
+        return [p.hop_count for r in self.records for p in r.packets]
+
+    def mean_hops(self) -> float:
+        hops = self.hop_counts()
+        return sum(hops) / len(hops) if hops else float("nan")
+
+    def non_minimal_fraction(self) -> float:
+        packets = [p for r in self.records for p in r.packets]
+        if not packets:
+            return float("nan")
+        return sum(1 for p in packets if p.non_minimal) / len(packets)
+
+    def transaction_latencies(self) -> LatencyDistribution:
+        """Latency per transaction: first message created to last
+        message delivered among messages sharing a transaction id.
+
+        For request/reply workloads this is the round-trip time; for
+        plain workloads every message is its own transaction and this
+        equals the message latency distribution.
+        """
+        spans: Dict[int, List[int]] = {}
+        for record in self.records:
+            span = spans.setdefault(record.transaction_id, [
+                record.created_tick, record.delivered_tick
+            ])
+            span[0] = min(span[0], record.created_tick)
+            span[1] = max(span[1], record.delivered_tick)
+        return LatencyDistribution(end - start for start, end in spans.values())
+
+    def transaction_count(self) -> int:
+        return len({r.transaction_id for r in self.records})
+
+    def summary(self) -> Dict[str, object]:
+        message = self.latency("message")
+        packet = self.latency("packet")
+        transaction = self.transaction_latencies()
+        return {
+            "messages": len(self.records),
+            "transactions": self.transaction_count(),
+            "message_latency": message.summary() if not message.empty else None,
+            "packet_latency": packet.summary() if not packet.empty else None,
+            "transaction_latency": (
+                transaction.summary() if not transaction.empty else None
+            ),
+            "mean_hops": self.mean_hops(),
+            "non_minimal_fraction": self.non_minimal_fraction(),
+        }
+
+    def write_csv(self, path: str) -> int:
+        """Raw per-message samples for external plotting."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("id,app,src,dst,flits,created,delivered,latency,hops,nonmin\n")
+            for r in self.records:
+                hops = max(p.hop_count for p in r.packets)
+                handle.write(
+                    f"{r.message_id},{r.application_id},{r.source},"
+                    f"{r.destination},{r.num_flits},{r.created_tick},"
+                    f"{r.delivered_tick},{r.latency},{hops},"
+                    f"{int(r.non_minimal)}\n"
+                )
+        return len(self.records)
+
+
+def parse_file(path: str, filters: Sequence[str] = ()) -> ParseResult:
+    """Load a JSONL message log and apply filters."""
+    return ParseResult(apply_filters(read_jsonl(path), filters))
+
+
+def parse_records(
+    records: Iterable[MessageRecord], filters: Sequence[str] = ()
+) -> ParseResult:
+    """Filter in-memory records (no file round trip)."""
+    return ParseResult(apply_filters(records, filters))

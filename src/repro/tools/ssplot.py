@@ -1,0 +1,213 @@
+"""ssplot: plot data generation and rendering (paper §V, [24]).
+
+The original SSPlot wraps matplotlib; this environment has no plotting
+backend, so ssplot produces the *numeric series* of every plot type the
+paper shows -- the actual reproduction target -- plus two renderers:
+
+* CSV export for external plotting, and
+* a dependency-free ASCII renderer for terminals and logs.
+
+Plot types (paper §V):
+
+* mean latency over time (Fig. 5)        -- :func:`latency_vs_time`
+* percentile distribution (Fig. 7)       -- :func:`percentile_distribution`
+* load vs latency distributions (Fig. 8) -- :class:`LoadLatencyPlot`
+* PDF / CDF of latency                   -- :func:`latency_pdf`, `latency_cdf`
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.latency import STANDARD_PERCENTILES, LatencyDistribution
+from repro.stats.timeline import latency_timeline
+
+
+class Series:
+    """A named (x, y) series."""
+
+    def __init__(self, name: str, x: Sequence[float], y: Sequence[float]):
+        if len(x) != len(y):
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        self.name = name
+        self.x = np.asarray(x, dtype=float)
+        self.y = np.asarray(y, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+class PlotData:
+    """A titled collection of series with axis labels."""
+
+    def __init__(self, title: str, x_label: str, y_label: str):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series: List[Series] = []
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> Series:
+        series = Series(name, x, y)
+        self.series.append(series)
+        return series
+
+    # -- exports ---------------------------------------------------------------
+
+    def write_csv(self, path: str) -> None:
+        """Long-format CSV: series,x,y."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# {self.title}\n")
+            handle.write(f"series,{self.x_label},{self.y_label}\n")
+            for series in self.series:
+                for x, y in zip(series.x, series.y):
+                    handle.write(f"{series.name},{x:g},{y:g}\n")
+
+    def render_ascii(self, width: int = 72, height: int = 20) -> str:
+        """A dependency-free scatter/line rendering."""
+        finite = [
+            (x, y)
+            for s in self.series
+            for x, y in zip(s.x, s.y)
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        if not finite:
+            return f"{self.title}\n(no data)\n"
+        xs = [p[0] for p in finite]
+        ys = [p[1] for p in finite]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        markers = "ox+*#@%&$"
+        for index, series in enumerate(self.series):
+            marker = markers[index % len(markers)]
+            for x, y in zip(series.x, series.y):
+                if not (math.isfinite(x) and math.isfinite(y)):
+                    continue
+                col = int((x - x_lo) / x_span * (width - 1))
+                row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+                grid[row][col] = marker
+        lines = [self.title]
+        lines.append(f"y: {self.y_label}  [{y_lo:g} .. {y_hi:g}]")
+        lines.extend("|" + "".join(row) for row in grid)
+        lines.append("+" + "-" * width)
+        lines.append(f"x: {self.x_label}  [{x_lo:g} .. {x_hi:g}]")
+        legend = "  ".join(
+            f"{markers[i % len(markers)]}={s.name}" for i, s in enumerate(self.series)
+        )
+        lines.append(legend)
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# plot builders
+# ---------------------------------------------------------------------------
+
+
+def latency_vs_time(
+    records,
+    bin_ticks: int,
+    title: str = "Mean latency over time",
+    start_tick: Optional[int] = None,
+    end_tick: Optional[int] = None,
+) -> PlotData:
+    """Fig. 5: time-binned mean latency of (typically Blast) records."""
+    centers, means, _counts = latency_timeline(
+        records, bin_ticks, start_tick, end_tick
+    )
+    plot = PlotData(title, "time (ticks)", "mean latency (ticks)")
+    keep = ~np.isnan(means)
+    plot.add("mean", centers[keep], means[keep])
+    return plot
+
+
+def percentile_distribution(
+    distribution: LatencyDistribution,
+    title: str = "Latency percentile distribution",
+    max_nines: int = 4,
+) -> PlotData:
+    """Fig. 7: latency vs percentile 'nines' (log-scale tail)."""
+    latencies, nines = distribution.percentile_curve(max_nines=max_nines)
+    plot = PlotData(title, "latency (ticks)", "percentile (nines)")
+    plot.add("percentile", latencies, nines)
+    return plot
+
+
+def latency_pdf(
+    distribution: LatencyDistribution,
+    num_bins: int = 50,
+    title: str = "Latency PDF",
+) -> PlotData:
+    centers, density = distribution.pdf(num_bins)
+    plot = PlotData(title, "latency (ticks)", "density")
+    plot.add("pdf", centers, density)
+    return plot
+
+
+def latency_cdf(
+    distribution: LatencyDistribution, title: str = "Latency CDF"
+) -> PlotData:
+    latencies, fractions = distribution.cdf()
+    plot = PlotData(title, "latency (ticks)", "cumulative fraction")
+    plot.add("cdf", latencies, fractions)
+    return plot
+
+
+class LoadLatencyPlot:
+    """Fig. 8 / Fig. 12: latency distributions across an injection sweep.
+
+    Add one (load, distribution) point per simulation; the plot exposes
+    a mean line plus one line per percentile, and stops each line at the
+    saturation point (a saturated network yields unbounded latency, so
+    plotting it would be meaningless -- the paper's lines stop at 98%
+    of saturation for the same reason).
+    """
+
+    def __init__(
+        self,
+        title: str = "Load vs latency",
+        percentiles: Sequence[float] = STANDARD_PERCENTILES,
+    ):
+        self.title = title
+        self.percentiles = tuple(percentiles)
+        self._points: List[Tuple[float, LatencyDistribution, bool]] = []
+
+    def add_point(
+        self,
+        load: float,
+        distribution: LatencyDistribution,
+        saturated: bool = False,
+    ) -> None:
+        self._points.append((load, distribution, saturated))
+
+    def saturation_load(self) -> Optional[float]:
+        """The lowest offered load marked saturated, if any."""
+        saturated = [load for load, _d, s in self._points if s]
+        return min(saturated) if saturated else None
+
+    def build(self) -> PlotData:
+        plot = PlotData(self.title, "offered load (flits/cycle)", "latency (ticks)")
+        points = sorted(self._points, key=lambda p: p[0])
+        usable = [(load, dist) for load, dist, sat in points if not sat and not dist.empty]
+        if not usable:
+            return plot
+        loads = [load for load, _dist in usable]
+        plot.add("mean", loads, [dist.mean() for _load, dist in usable])
+        for percent in self.percentiles:
+            plot.add(
+                f"p{percent:g}",
+                loads,
+                [dist.percentile(percent) for _load, dist in usable],
+            )
+        return plot
+
+    def throughput_table(self) -> List[Tuple[float, float]]:
+        """(offered load, mean latency) rows for quick inspection."""
+        return [
+            (load, dist.mean() if not dist.empty else float("nan"))
+            for load, dist, _sat in sorted(self._points, key=lambda p: p[0])
+        ]

@@ -1,0 +1,246 @@
+"""sssweep: autonomous simulation sweep generation (paper §V, [26]).
+
+SSSweep turns a few lines of variable declarations into a full cross
+product of simulations plus their parsing/analysis tasks, all executed
+through taskrun.  Mirroring the paper's Listing 2, each sweep variable
+carries a function mapping a value to SuperSim command-line override
+strings::
+
+    sweep = Sweep(base_config, name="channel_latency_study")
+    sweep.add_variable(
+        "ChannelLatency", "CL", [1, 2, 4, 8, 16, 32, 64],
+        lambda latency: f"network.channel_latency=uint={latency}")
+    sweep.run()
+    rows = sweep.to_rows()
+
+Every job in the cross product gets a stable id built from the short
+names (``CL4_MS2``), a fully resolved Settings object, and a collected
+result (by default ``SimulationResults.summary()``; pass ``collect=``
+for a custom extractor).  ``write_csv`` and ``write_html_index`` export
+the sweep for external tooling -- the latter is the stand-in for
+SSSweep's generated web viewer.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.config.settings import Settings
+from repro.sim import Simulation, SimulationResults
+from repro.tools.taskrun import FunctionTask, TaskManager
+
+OverrideFn = Callable[[Any], Any]  # value -> str | List[str]
+CollectFn = Callable[[SimulationResults], Any]
+
+
+class SweepVariable:
+    """One swept dimension: a value list and its override generator."""
+
+    def __init__(self, name: str, short_name: str, values: Sequence[Any],
+                 override_fn: OverrideFn):
+        if not values:
+            raise ValueError(f"sweep variable {name!r} has no values")
+        if not short_name:
+            raise ValueError(f"sweep variable {name!r} needs a short name")
+        self.name = name
+        self.short_name = short_name
+        self.values = list(values)
+        self.override_fn = override_fn
+
+    def overrides_for(self, value: Any) -> List[str]:
+        result = self.override_fn(value)
+        if isinstance(result, str):
+            return [result]
+        return list(result)
+
+
+class SweepJob:
+    """One point of the cross product."""
+
+    def __init__(self, job_id: str, values: Dict[str, Any], overrides: List[str]):
+        self.job_id = job_id
+        self.values = values
+        self.overrides = overrides
+        self.result: Any = None
+        self.error: Optional[str] = None
+
+    def __repr__(self):
+        return f"SweepJob({self.job_id})"
+
+
+def default_collect(results: SimulationResults) -> Dict[str, Any]:
+    return results.summary()
+
+
+class Sweep:
+    """Cross-product simulation sweep over a base configuration."""
+
+    def __init__(
+        self,
+        base_config: dict,
+        name: str = "sweep",
+        collect: CollectFn = default_collect,
+        max_time: Optional[int] = None,
+        num_workers: int = 1,
+    ):
+        self.base_config = base_config
+        self.name = name
+        self.collect = collect
+        self.max_time = max_time
+        self.num_workers = num_workers
+        self.variables: List[SweepVariable] = []
+        self.jobs: List[SweepJob] = []
+
+    def add_variable(
+        self,
+        name: str,
+        short_name: str,
+        values: Sequence[Any],
+        override_fn: OverrideFn,
+    ) -> SweepVariable:
+        if any(v.short_name == short_name for v in self.variables):
+            raise ValueError(f"duplicate sweep short name {short_name!r}")
+        variable = SweepVariable(name, short_name, values, override_fn)
+        self.variables.append(variable)
+        return variable
+
+    # -- job generation -----------------------------------------------------------
+
+    def generate_jobs(self) -> List[SweepJob]:
+        """Build the cross product (idempotent)."""
+        if not self.variables:
+            raise ValueError("sweep has no variables")
+        combos: List[List[Tuple[SweepVariable, Any]]] = [[]]
+        for variable in self.variables:
+            combos = [
+                combo + [(variable, value)]
+                for combo in combos
+                for value in variable.values
+            ]
+        self.jobs = []
+        for combo in combos:
+            job_id = "_".join(
+                f"{variable.short_name}{value}" for variable, value in combo
+            )
+            values = {variable.name: value for variable, value in combo}
+            overrides: List[str] = []
+            for variable, value in combo:
+                overrides.extend(variable.overrides_for(value))
+            self.jobs.append(SweepJob(job_id, values, overrides))
+        return self.jobs
+
+    @property
+    def num_jobs(self) -> int:
+        count = 1
+        for variable in self.variables:
+            count *= len(variable.values)
+        return count
+
+    # -- execution ------------------------------------------------------------------
+
+    def settings_for(self, job: SweepJob) -> Settings:
+        return Settings.from_dict(self.base_config, overrides=job.overrides)
+
+    def _run_job(self, job: SweepJob) -> Any:
+        settings = self.settings_for(job)
+        simulation = Simulation(settings)
+        results = simulation.run(max_time=self.max_time)
+        job.result = self.collect(results)
+        return job.result
+
+    def run(self, observer: Optional[Callable[[SweepJob], None]] = None) -> None:
+        """Execute every job through a taskrun TaskManager."""
+        if not self.jobs:
+            self.generate_jobs()
+        manager = TaskManager(
+            resources={"sim": self.num_workers}, num_workers=self.num_workers
+        )
+        for job in self.jobs:
+            def run_one(job=job):
+                result = self._run_job(job)
+                if observer is not None:
+                    observer(job)
+                return result
+
+            manager.add_task(
+                FunctionTask(f"{self.name}:{job.job_id}", run_one,
+                             resources={"sim": 1})
+            )
+        manager.run()
+        for task in manager.failures():
+            job_id = task.name.split(":", 1)[1]
+            for job in self.jobs:
+                if job.job_id == job_id:
+                    job.error = str(task.error)
+
+    # -- results ------------------------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per job: variables + collected result fields."""
+        rows = []
+        for job in self.jobs:
+            row: Dict[str, Any] = {"job_id": job.job_id}
+            row.update(job.values)
+            if isinstance(job.result, dict):
+                row.update(job.result)
+            else:
+                row["result"] = job.result
+            if job.error:
+                row["error"] = job.error
+            rows.append(row)
+        return rows
+
+    def write_csv(self, path: str) -> int:
+        rows = self.to_rows()
+        if not rows:
+            raise ValueError("no jobs to export; run() first")
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(",".join(columns) + "\n")
+            for row in rows:
+                cells = []
+                for column in columns:
+                    value = row.get(column, "")
+                    if isinstance(value, (dict, list)):
+                        value = json.dumps(value).replace(",", ";")
+                    cells.append(str(value))
+                handle.write(",".join(cells) + "\n")
+        return len(rows)
+
+    def write_html_index(self, path: str) -> None:
+        """A static HTML table of all jobs -- the web-viewer stand-in."""
+        rows = self.to_rows()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        parts = [
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+            f"<title>{html.escape(self.name)}</title>",
+            "<style>table{border-collapse:collapse}td,th{border:1px solid #999;"
+            "padding:4px 8px;font:13px monospace}</style></head><body>",
+            f"<h1>{html.escape(self.name)}</h1>",
+            f"<p>{len(rows)} simulations across "
+            f"{len(self.variables)} variables</p>",
+            "<table><tr>",
+        ]
+        parts.extend(f"<th>{html.escape(str(c))}</th>" for c in columns)
+        parts.append("</tr>")
+        for row in rows:
+            parts.append("<tr>")
+            for column in columns:
+                value = row.get(column, "")
+                if isinstance(value, (dict, list)):
+                    value = json.dumps(value)
+                parts.append(f"<td>{html.escape(str(value))}</td>")
+            parts.append("</tr>")
+        parts.append("</table></body></html>")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("".join(parts))

@@ -1,0 +1,349 @@
+"""taskrun: dependency-ordered task execution (paper §V, [25]).
+
+TaskRun runs tasks with dependencies, conditional execution, resource
+management, "and much more".  The experiment flow -- simulate, parse,
+analyze, plot -- is a DAG where each step depends on earlier steps and
+competes for machine resources; a TaskRun script declares the tasks and
+the manager executes them in a correct order, in parallel up to the
+declared resource capacities.
+
+Core concepts:
+
+* :class:`Task` -- a unit of work: a Python function (:class:`FunctionTask`)
+  or a shell command (:class:`ProcessTask`).  Tasks declare resource
+  demands (e.g. ``{"cpus": 1, "mem": 2}``) and dependencies.
+* conditions -- a task may carry a condition callable; when it returns
+  False at schedule time the task is *skipped* (its dependents still
+  run), which implements incremental flows ("output file already
+  exists").
+* :class:`ResourceManager` -- named capacities; a task runs only when
+  all its demands fit, and returns them on completion.
+* :class:`TaskManager` -- topological scheduling with a worker pool.
+
+Failure semantics: a failed task marks all transitive dependents as
+cancelled; independent subgraphs keep running.
+"""
+
+from __future__ import annotations
+
+import enum
+import subprocess
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    SKIPPED = "skipped"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+_TERMINAL = (TaskState.SUCCEEDED, TaskState.SKIPPED, TaskState.FAILED,
+             TaskState.CANCELLED)
+
+
+class TaskError(RuntimeError):
+    """Raised for task graph construction errors."""
+
+
+class Task:
+    """Abstract unit of work in a task graph."""
+
+    def __init__(
+        self,
+        name: str,
+        resources: Optional[Dict[str, int]] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ):
+        if not name:
+            raise TaskError("task name must be non-empty")
+        self.name = name
+        self.resources = dict(resources or {})
+        self.condition = condition
+        self.dependencies: List["Task"] = []
+        self.dependents: List["Task"] = []
+        self.state = TaskState.PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def depends_on(self, *tasks: "Task") -> "Task":
+        """Declare that this task runs after ``tasks``; returns self."""
+        for task in tasks:
+            if task is self:
+                raise TaskError(f"task {self.name!r} cannot depend on itself")
+            self.dependencies.append(task)
+            task.dependents.append(self)
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self) -> Any:
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r}, {self.state.value})"
+
+
+class FunctionTask(Task):
+    """Run a Python callable; its return value becomes ``task.result``."""
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        resources: Optional[Dict[str, int]] = None,
+        condition: Optional[Callable[[], bool]] = None,
+    ):
+        super().__init__(name, resources, condition)
+        self.func = func
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs or {})
+
+    def execute(self) -> Any:
+        return self.func(*self.args, **self.kwargs)
+
+
+class ProcessTask(Task):
+    """Run a shell command; nonzero exit status is a failure."""
+
+    def __init__(
+        self,
+        name: str,
+        command: Sequence[str],
+        resources: Optional[Dict[str, int]] = None,
+        condition: Optional[Callable[[], bool]] = None,
+        timeout: Optional[float] = None,
+    ):
+        super().__init__(name, resources, condition)
+        self.command = list(command)
+        self.timeout = timeout
+        self.stdout: Optional[str] = None
+        self.stderr: Optional[str] = None
+
+    def execute(self) -> int:
+        proc = subprocess.run(
+            self.command,
+            capture_output=True,
+            text=True,
+            timeout=self.timeout,
+        )
+        self.stdout = proc.stdout
+        self.stderr = proc.stderr
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"command {self.command!r} exited {proc.returncode}: "
+                f"{proc.stderr[-500:] if proc.stderr else ''}"
+            )
+        return proc.returncode
+
+
+class ResourceManager:
+    """Named resource capacities shared by concurrently running tasks."""
+
+    def __init__(self, capacities: Optional[Dict[str, int]] = None):
+        self._capacity = dict(capacities or {})
+        self._available = dict(self._capacity)
+        self._lock = threading.Lock()
+
+    def capacity(self, name: str) -> int:
+        return self._capacity.get(name, 0)
+
+    def available(self, name: str) -> int:
+        with self._lock:
+            return self._available.get(name, 0)
+
+    def validate(self, task: Task) -> None:
+        for name, amount in task.resources.items():
+            if amount < 0:
+                raise TaskError(f"{task.name}: negative demand for {name!r}")
+            if amount > self._capacity.get(name, 0):
+                raise TaskError(
+                    f"{task.name}: demands {amount} of {name!r} but the "
+                    f"capacity is {self._capacity.get(name, 0)} -- it could "
+                    f"never run"
+                )
+
+    def try_acquire(self, task: Task) -> bool:
+        with self._lock:
+            for name, amount in task.resources.items():
+                if self._available.get(name, 0) < amount:
+                    return False
+            for name, amount in task.resources.items():
+                self._available[name] -= amount
+            return True
+
+    def release(self, task: Task) -> None:
+        with self._lock:
+            for name, amount in task.resources.items():
+                self._available[name] += amount
+                if self._available[name] > self._capacity[name]:
+                    raise TaskError(
+                        f"resource {name!r} over-released past capacity"
+                    )
+
+
+class TaskManager:
+    """Builds and executes a task DAG.
+
+    ``num_workers`` > 1 uses a thread pool (appropriate for process
+    tasks and IO-heavy function tasks; CPython-bound function tasks
+    still serialize on the GIL, matching TaskRun's role as an
+    orchestrator rather than a parallel compute engine).
+    """
+
+    def __init__(
+        self,
+        resources: Optional[Dict[str, int]] = None,
+        num_workers: int = 1,
+        observer: Optional[Callable[[Task], None]] = None,
+    ):
+        if num_workers < 1:
+            raise TaskError("num_workers must be >= 1")
+        self.resource_manager = ResourceManager(resources)
+        self.num_workers = num_workers
+        self.tasks: List[Task] = []
+        self._observer = observer
+
+    # -- graph construction -------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        self.resource_manager.validate(task)
+        self.tasks.append(task)
+        return task
+
+    def function_task(self, name: str, func, *args, **kwargs) -> FunctionTask:
+        task = FunctionTask(name, func, args, kwargs)
+        return self.add_task(task)
+
+    def _check_acyclic(self) -> List[Task]:
+        """Kahn's algorithm; returns a topological order or raises."""
+        in_degree = {id(t): len(t.dependencies) for t in self.tasks}
+        known = {id(t) for t in self.tasks}
+        for task in self.tasks:
+            for dep in task.dependencies:
+                if id(dep) not in known:
+                    raise TaskError(
+                        f"{task.name!r} depends on {dep.name!r}, which was "
+                        f"never added to this manager"
+                    )
+        queue = [t for t in self.tasks if in_degree[id(t)] == 0]
+        order: List[Task] = []
+        while queue:
+            task = queue.pop()
+            order.append(task)
+            for dependent in task.dependents:
+                if id(dependent) in in_degree:
+                    in_degree[id(dependent)] -= 1
+                    if in_degree[id(dependent)] == 0:
+                        queue.append(dependent)
+        if len(order) != len(self.tasks):
+            cyclic = [t.name for t in self.tasks if not t.done and t not in order]
+            raise TaskError(f"task graph has a cycle involving {cyclic}")
+        return order
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self) -> Dict[str, TaskState]:
+        """Execute the graph; returns {task name: final state}."""
+        self._check_acyclic()
+        lock = threading.Lock()
+        ready_cv = threading.Condition(lock)
+        remaining = [t for t in self.tasks]
+
+        def dependencies_satisfied(task: Task) -> bool:
+            return all(
+                d.state in (TaskState.SUCCEEDED, TaskState.SKIPPED)
+                for d in task.dependencies
+            )
+
+        def cancel_dependents(task: Task) -> None:
+            for dependent in task.dependents:
+                if not dependent.done:
+                    dependent.state = TaskState.CANCELLED
+                    self._notify(dependent)
+                    cancel_dependents(dependent)
+
+        def next_task() -> Optional[Task]:
+            # Called with the lock held.
+            for task in remaining:
+                if task.done or task.state == TaskState.RUNNING:
+                    continue
+                if any(d.state in (TaskState.FAILED, TaskState.CANCELLED)
+                       for d in task.dependencies):
+                    task.state = TaskState.CANCELLED
+                    self._notify(task)
+                    cancel_dependents(task)
+                    continue
+                if not dependencies_satisfied(task):
+                    continue
+                if task.condition is not None and not task.condition():
+                    task.state = TaskState.SKIPPED
+                    self._notify(task)
+                    ready_cv.notify_all()
+                    continue
+                if self.resource_manager.try_acquire(task):
+                    task.state = TaskState.RUNNING
+                    return task
+            return None
+
+        def all_done() -> bool:
+            return all(t.done for t in self.tasks)
+
+        def worker() -> None:
+            while True:
+                with ready_cv:
+                    task = next_task()
+                    while task is None:
+                        if all_done():
+                            ready_cv.notify_all()
+                            return
+                        # A task may be blocked on resources or deps.
+                        if not ready_cv.wait(timeout=0.05):
+                            pass
+                        task = next_task()
+                try:
+                    task.result = task.execute()
+                    task.state = TaskState.SUCCEEDED
+                except BaseException as exc:  # noqa: BLE001 - report and contain
+                    task.error = exc
+                    task.state = TaskState.FAILED
+                finally:
+                    self.resource_manager.release(task)
+                with ready_cv:
+                    if task.state == TaskState.FAILED:
+                        cancel_dependents(task)
+                    self._notify(task)
+                    ready_cv.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(self.num_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return {task.name: task.state for task in self.tasks}
+
+    def _notify(self, task: Task) -> None:
+        if self._observer is not None:
+            self._observer(task)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def failures(self) -> List[Task]:
+        return [t for t in self.tasks if t.state == TaskState.FAILED]
+
+    def succeeded(self) -> bool:
+        return all(
+            t.state in (TaskState.SUCCEEDED, TaskState.SKIPPED) for t in self.tasks
+        )

@@ -1,0 +1,15 @@
+"""Packaged topologies (paper §IV-B)."""
+
+from repro.topology.dragonfly import DragonflyNetwork
+from repro.topology.folded_clos import FoldedClosNetwork
+from repro.topology.hyperx import HyperXNetwork
+from repro.topology.parking_lot import ParkingLotNetwork
+from repro.topology.torus import TorusNetwork
+
+__all__ = [
+    "DragonflyNetwork",
+    "FoldedClosNetwork",
+    "HyperXNetwork",
+    "ParkingLotNetwork",
+    "TorusNetwork",
+]

@@ -1,0 +1,105 @@
+"""Message size distributions.
+
+Factory-registered models mapping each generated message to a size in
+flits.  ``mean()`` is used by injection processes to convert a flit
+injection rate into a message arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro import factory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config.settings import Settings
+
+
+class MessageSizeDistribution:
+    """Abstract message size model."""
+
+    def __init__(self, settings: "Settings", rng: np.random.Generator):
+        self.settings = settings
+        self.rng = rng
+
+    def sample(self) -> int:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+def create_size_distribution(
+    settings: "Settings", rng: np.random.Generator
+) -> MessageSizeDistribution:
+    kind = settings.get_str("type", "constant")
+    return factory.create(MessageSizeDistribution, kind, settings, rng)
+
+
+@factory.register(MessageSizeDistribution, "constant")
+class ConstantSize(MessageSizeDistribution):
+    """Every message is ``size`` flits (default 1)."""
+
+    def __init__(self, settings, rng):
+        super().__init__(settings, rng)
+        self.size = settings.get_uint("size", 1)
+        if self.size < 1:
+            raise ValueError("message size must be >= 1 flit")
+
+    def sample(self) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+@factory.register(MessageSizeDistribution, "uniform")
+class UniformSize(MessageSizeDistribution):
+    """Uniform integer size in [``min_size``, ``max_size``]."""
+
+    def __init__(self, settings, rng):
+        super().__init__(settings, rng)
+        self.min_size = settings.get_uint("min_size", 1)
+        self.max_size = settings.get_uint("max_size")
+        if not 1 <= self.min_size <= self.max_size:
+            raise ValueError(
+                f"need 1 <= min_size <= max_size, got "
+                f"[{self.min_size}, {self.max_size}]"
+            )
+
+    def sample(self) -> int:
+        return int(self.rng.integers(self.min_size, self.max_size + 1))
+
+    def mean(self) -> float:
+        return (self.min_size + self.max_size) / 2.0
+
+
+@factory.register(MessageSizeDistribution, "probability")
+class ProbabilitySize(MessageSizeDistribution):
+    """Discrete distribution: ``sizes`` with matching ``weights``.
+
+    Models bimodal request/response mixes (e.g. 90% 1-flit reads,
+    10% 16-flit writes).
+    """
+
+    def __init__(self, settings, rng):
+        super().__init__(settings, rng)
+        self.sizes: List[int] = settings.get_int_list("sizes")
+        weights = settings.get_list("weights")
+        if len(weights) != len(self.sizes) or not self.sizes:
+            raise ValueError("sizes and weights must be equal-length, non-empty")
+        if any(s < 1 for s in self.sizes):
+            raise ValueError("all sizes must be >= 1 flit")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.probabilities = np.array([w / total for w in weights])
+
+    def sample(self) -> int:
+        index = int(self.rng.choice(len(self.sizes), p=self.probabilities))
+        return self.sizes[index]
+
+    def mean(self) -> float:
+        return float(np.dot(self.sizes, self.probabilities))

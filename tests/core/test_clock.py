@@ -1,0 +1,70 @@
+"""Clock domains (paper §III-B, Fig. 2b)."""
+
+import pytest
+
+from repro.core.clock import Clock
+from repro.core.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_figure_2b_example(sim):
+    """Clock A: 3-tick period; Clock B: 2-tick period."""
+    clock_a = Clock(sim, period=3)
+    clock_b = Clock(sim, period=2)
+    assert [t for t in range(10) if clock_a.is_edge(t)] == [0, 3, 6, 9]
+    assert [t for t in range(10) if clock_b.is_edge(t)] == [0, 2, 4, 6, 8]
+
+
+def test_phase_offset(sim):
+    clock = Clock(sim, period=4, phase=1)
+    assert [t for t in range(10) if clock.is_edge(t)] == [1, 5, 9]
+
+
+def test_next_edge_at_or_after(sim):
+    clock = Clock(sim, period=3)
+    assert clock.next_edge(0) == 0
+    assert clock.next_edge(1) == 3
+    assert clock.next_edge(3) == 3
+    assert clock.next_edge(4) == 6
+
+
+def test_following_edge_strictly_after(sim):
+    clock = Clock(sim, period=3)
+    assert clock.following_edge(0) == 3
+    assert clock.following_edge(2) == 3
+    assert clock.following_edge(3) == 6
+
+
+def test_next_edge_before_phase(sim):
+    clock = Clock(sim, period=5, phase=2)
+    assert clock.next_edge(0) == 2
+    assert clock.next_edge(2) == 2
+    assert clock.next_edge(3) == 7
+
+
+def test_cycles_to_ticks(sim):
+    clock = Clock(sim, period=4)
+    assert clock.cycles_to_ticks(3) == 12
+    with pytest.raises(ValueError):
+        clock.cycles_to_ticks(-1)
+
+
+def test_frequency_ratio_speedup(sim):
+    """2x frequency speedup: core twice as fast as the channel."""
+    core = Clock(sim, period=1)
+    channel = Clock(sim, period=2)
+    assert core.frequency_ratio(channel) == 2.0
+    assert channel.frequency_ratio(core) == 0.5
+
+
+def test_invalid_parameters(sim):
+    with pytest.raises(ValueError):
+        Clock(sim, period=0)
+    with pytest.raises(ValueError):
+        Clock(sim, period=2, phase=2)
+    with pytest.raises(ValueError):
+        Clock(sim, period=2, phase=-1)

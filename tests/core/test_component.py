@@ -1,0 +1,52 @@
+"""Component hierarchy and scheduling helpers."""
+
+import pytest
+
+from repro.core.component import Component
+from repro.core.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_hierarchy_names(sim):
+    root = Component(sim, "network")
+    router = Component(sim, "router0", root)
+    port = Component(sim, "in3", router)
+    assert port.full_name == "network.router0.in3"
+    assert port.parent is router
+    assert root.parent is None
+
+
+def test_schedule_at_absolute(sim):
+    component = Component(sim, "c")
+    fired = []
+    component.schedule_at(lambda e: fired.append(sim.tick), 42, epsilon=3)
+    sim.run()
+    assert fired == [42]
+    assert sim.now.epsilon == 3
+
+
+def test_schedule_carries_data(sim):
+    component = Component(sim, "c")
+    seen = []
+    component.schedule_at(lambda e: seen.append(e.data), 5, data="payload")
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_debug_output(sim, capsys):
+    component = Component(sim, "noisy")
+    component.dbg("hidden")  # debugging off: no output
+    assert capsys.readouterr().out == ""
+    component.set_debug(True)
+    component.dbg("visible")
+    out = capsys.readouterr().out
+    assert "noisy" in out and "visible" in out
+
+
+def test_repr(sim):
+    component = Component(sim, "thing")
+    assert "thing" in repr(component)

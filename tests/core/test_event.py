@@ -1,0 +1,35 @@
+"""Event object behaviour."""
+
+from repro.core.event import Event
+from repro.core.simtime import TimeStep
+from repro.core.simulator import Simulator
+
+
+def test_time_property_before_scheduling():
+    event = Event(lambda e: None)
+    assert event.time is None
+
+
+def test_time_property_after_scheduling():
+    simulator = Simulator()
+    event = simulator.call_at(10, lambda e: None, epsilon=3)
+    assert event.time == TimeStep(10, 3)
+
+
+def test_data_defaults_to_none():
+    assert Event(lambda e: None).data is None
+
+
+def test_cancel_flag():
+    event = Event(lambda e: None)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+
+
+def test_repr_mentions_handler():
+    def my_handler(event):
+        pass
+
+    event = Event(my_handler, data=7)
+    assert "my_handler" in repr(event)

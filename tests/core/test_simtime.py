@@ -1,0 +1,100 @@
+"""TimeStep: ordering, immutability, arithmetic (paper §III-B)."""
+
+import pytest
+
+from repro.core.simtime import MAX_EPSILON, ZERO, TimeStep, as_timestep
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = TimeStep(5, 3)
+        assert t.tick == 5
+        assert t.epsilon == 3
+
+    def test_default_epsilon(self):
+        assert TimeStep(9).epsilon == 0
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            TimeStep(-1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            TimeStep(0, -1)
+
+    def test_epsilon_bound(self):
+        TimeStep(0, MAX_EPSILON)  # at the bound: fine
+        with pytest.raises(ValueError):
+            TimeStep(0, MAX_EPSILON + 1)
+
+    def test_zero_constant(self):
+        assert ZERO == TimeStep(0, 0)
+
+
+class TestImmutability:
+    def test_cannot_set_tick(self):
+        t = TimeStep(1, 1)
+        with pytest.raises(AttributeError):
+            t.tick = 5
+
+    def test_cannot_add_attribute(self):
+        t = TimeStep(1, 1)
+        with pytest.raises(AttributeError):
+            t.extra = "nope"
+
+
+class TestOrdering:
+    def test_tick_dominates_epsilon(self):
+        # A lower tick is always higher priority regardless of epsilons.
+        assert TimeStep(1, 999) < TimeStep(2, 0)
+
+    def test_epsilon_breaks_ties(self):
+        assert TimeStep(5, 1) < TimeStep(5, 2)
+
+    def test_equality(self):
+        assert TimeStep(3, 4) == TimeStep(3, 4)
+        assert TimeStep(3, 4) != TimeStep(3, 5)
+
+    def test_total_ordering_helpers(self):
+        assert TimeStep(2, 0) >= TimeStep(1, 9)
+        assert TimeStep(2, 0) > TimeStep(1, 9)
+        assert TimeStep(1, 0) <= TimeStep(1, 0)
+
+    def test_hashable_and_consistent(self):
+        assert hash(TimeStep(7, 2)) == hash(TimeStep(7, 2))
+        assert len({TimeStep(1, 0), TimeStep(1, 0), TimeStep(1, 1)}) == 2
+
+    def test_comparison_with_other_types(self):
+        assert TimeStep(1, 0) != 1
+        with pytest.raises(TypeError):
+            _ = TimeStep(1, 0) < 1
+
+
+class TestArithmetic:
+    def test_plus_ticks_resets_epsilon(self):
+        # Each tick has its own unique epsilons (paper Fig. 2a).
+        t = TimeStep(5, 7).plus_ticks(3)
+        assert t == TimeStep(8, 0)
+
+    def test_plus_zero_ticks(self):
+        assert TimeStep(5, 7).plus_ticks(0) == TimeStep(5, 0)
+
+    def test_plus_ticks_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeStep(5, 0).plus_ticks(-1)
+
+    def test_plus_epsilon(self):
+        assert TimeStep(5, 1).plus_epsilon() == TimeStep(5, 2)
+        assert TimeStep(5, 1).plus_epsilon(4) == TimeStep(5, 5)
+
+
+class TestCoercion:
+    def test_as_timestep_int(self):
+        assert as_timestep(42) == TimeStep(42, 0)
+
+    def test_as_timestep_passthrough(self):
+        t = TimeStep(1, 2)
+        assert as_timestep(t) is t
+
+    def test_str(self):
+        assert str(TimeStep(10, 3)) == "10e3"

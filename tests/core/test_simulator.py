@@ -1,0 +1,180 @@
+"""The DES engine: ordering, cancellation, limits, registry (§III-A)."""
+
+import pytest
+
+from repro.core.component import Component
+from repro.core.event import Event
+from repro.core.simtime import TimeStep
+from repro.core.simulator import SimulationError, Simulator
+
+
+def test_events_execute_in_time_order(simulator):
+    order = []
+    simulator.call_at(30, lambda e: order.append("c"))
+    simulator.call_at(10, lambda e: order.append("a"))
+    simulator.call_at(20, lambda e: order.append("b"))
+    simulator.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_epsilon_orders_within_tick(simulator):
+    order = []
+    simulator.call_at(5, lambda e: order.append("late"), epsilon=9)
+    simulator.call_at(5, lambda e: order.append("early"), epsilon=1)
+    simulator.run()
+    assert order == ["early", "late"]
+
+
+def test_equal_times_run_in_schedule_order(simulator):
+    order = []
+    for tag in ("first", "second", "third"):
+        simulator.call_at(7, lambda e, t=tag: order.append(t), epsilon=2)
+    simulator.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_now_advances_with_execution(simulator):
+    seen = []
+    simulator.call_at(12, lambda e: seen.append(simulator.now))
+    simulator.run()
+    assert seen == [TimeStep(12, 0)]
+    assert simulator.now == TimeStep(12, 0)
+
+
+def test_handler_can_schedule_more_events(simulator):
+    order = []
+
+    def first(event):
+        order.append("first")
+        simulator.call_at(simulator.tick + 5, lambda e: order.append("second"))
+
+    simulator.call_at(1, first)
+    simulator.run()
+    assert order == ["first", "second"]
+    assert simulator.tick == 6
+
+
+def test_scheduling_in_past_rejected(simulator):
+    def handler(event):
+        with pytest.raises(SimulationError):
+            simulator.call_at(3, lambda e: None)
+
+    simulator.call_at(10, handler)
+    simulator.run()
+
+
+def test_scheduling_at_exact_now_rejected(simulator):
+    def handler(event):
+        with pytest.raises(SimulationError):
+            simulator.call_at(10, lambda e: None, epsilon=0)
+
+    simulator.call_at(10, handler, epsilon=0)
+    simulator.run()
+
+
+def test_same_tick_later_epsilon_allowed(simulator):
+    order = []
+
+    def handler(event):
+        order.append("a")
+        simulator.call_at(10, lambda e: order.append("b"), epsilon=1)
+
+    simulator.call_at(10, handler, epsilon=0)
+    simulator.run()
+    assert order == ["a", "b"]
+
+
+def test_cancelled_events_are_skipped(simulator):
+    order = []
+    event = simulator.call_at(10, lambda e: order.append("cancelled"))
+    simulator.call_at(20, lambda e: order.append("kept"))
+    event.cancel()
+    simulator.run()
+    assert order == ["kept"]
+
+
+def test_event_data_payload(simulator):
+    seen = []
+    simulator.add_event(Event(lambda e: seen.append(e.data), data={"x": 1}), 5)
+    simulator.run()
+    assert seen == [{"x": 1}]
+
+
+def test_run_max_time_pauses_and_resumes(simulator):
+    order = []
+    simulator.call_at(10, lambda e: order.append("a"))
+    simulator.call_at(50, lambda e: order.append("b"))
+    simulator.run(max_time=20)
+    assert order == ["a"]
+    assert simulator.queue_size == 1
+    simulator.run()
+    assert order == ["a", "b"]
+
+
+def test_run_max_events(simulator):
+    order = []
+    for tick in (1, 2, 3, 4):
+        simulator.call_at(tick, lambda e, t=tick: order.append(t))
+    simulator.run(max_events=2)
+    assert order == [1, 2]
+
+
+def test_executed_events_counter(simulator):
+    for tick in range(5):
+        simulator.call_at(tick + 1, lambda e: None)
+    simulator.run()
+    assert simulator.executed_events == 5
+
+
+def test_component_registry(simulator):
+    parent = Component(simulator, "net")
+    child = Component(simulator, "router3", parent)
+    assert child.full_name == "net.router3"
+    assert simulator.find_component("net.router3") is child
+    assert simulator.find_component("missing") is None
+    assert simulator.num_components == 2
+
+
+def test_duplicate_component_names_rejected(simulator):
+    Component(simulator, "dup")
+    with pytest.raises(SimulationError):
+        Component(simulator, "dup")
+
+
+def test_component_name_validation(simulator):
+    with pytest.raises(ValueError):
+        Component(simulator, "")
+    with pytest.raises(ValueError):
+        Component(simulator, "a.b")
+
+
+def test_component_schedule_relative(simulator):
+    parent = Component(simulator, "c")
+    order = []
+
+    def start(event):
+        parent.schedule(lambda e: order.append(simulator.tick), 7)
+
+    simulator.call_at(3, start)
+    simulator.run()
+    assert order == [10]
+
+
+def test_component_zero_delay_uses_next_epsilon(simulator):
+    parent = Component(simulator, "c")
+    order = []
+
+    def start(event):
+        parent.schedule(lambda e: order.append(simulator.now.epsilon), 0)
+
+    simulator.call_at(3, start, epsilon=2)
+    simulator.run()
+    assert order == [3]
+
+
+def test_run_observer_called(simulator):
+    calls = []
+    simulator.add_run_observer(lambda s: calls.append(s.tick))
+    simulator.call_at(4, lambda e: None)
+    simulator.run()
+    assert calls == [4]

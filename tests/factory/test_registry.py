@@ -1,0 +1,156 @@
+"""Smart object factories (paper §III-D)."""
+
+import pytest
+
+from repro.factory.registry import FactoryError, ObjectFactory
+
+
+class Base:
+    pass
+
+
+class Other:
+    pass
+
+
+def test_register_and_create():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "impl")
+    class Impl(Base):
+        def __init__(self, x):
+            self.x = x
+
+    obj = factory.create(Base, "impl", 42)
+    assert isinstance(obj, Impl)
+    assert obj.x == 42
+
+
+def test_drop_in_extension_requires_no_existing_code_changes():
+    """The paper's key property: registering is purely additive."""
+    factory = ObjectFactory()
+
+    @factory.register(Base, "packaged")
+    class Packaged(Base):
+        pass
+
+    # A "user source file" registers a new model...
+    @factory.register(Base, "user_model")
+    class UserModel(Base):
+        pass
+
+    # ...and both are now constructible by name.
+    assert factory.names(Base) == ["packaged", "user_model"]
+
+
+def test_unknown_name_raises_with_known_list():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "only")
+    class Only(Base):
+        pass
+
+    with pytest.raises(FactoryError, match="only"):
+        factory.create(Base, "missing")
+
+
+def test_same_name_different_base_ok():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "shared_name")
+    class A(Base):
+        pass
+
+    @factory.register(Other, "shared_name")
+    class B(Other):
+        pass
+
+    assert isinstance(factory.create(Base, "shared_name"), A)
+    assert isinstance(factory.create(Other, "shared_name"), B)
+
+
+def test_duplicate_registration_of_different_class_rejected():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "dup")
+    class First(Base):
+        pass
+
+    with pytest.raises(FactoryError):
+        @factory.register(Base, "dup")
+        class Second(Base):
+            pass
+
+
+def test_reregistration_of_same_class_is_idempotent():
+    factory = ObjectFactory()
+
+    class Impl(Base):
+        pass
+
+    factory.register(Base, "x")(Impl)
+    factory.register(Base, "x")(Impl)  # e.g. module imported twice
+    assert factory.lookup(Base, "x") is Impl
+
+
+def test_non_subclass_rejected():
+    factory = ObjectFactory()
+    with pytest.raises(TypeError):
+        @factory.register(Base, "bad")
+        class NotABase:
+            pass
+
+
+def test_lookup_without_construction():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "impl")
+    class Impl(Base):
+        def __init__(self):
+            raise RuntimeError("should not construct")
+
+    assert factory.lookup(Base, "impl") is Impl
+    with pytest.raises(FactoryError):
+        factory.lookup(Base, "nope")
+
+
+def test_is_registered():
+    factory = ObjectFactory()
+
+    @factory.register(Base, "x")
+    class Impl(Base):
+        pass
+
+    assert factory.is_registered(Base, "x")
+    assert not factory.is_registered(Base, "y")
+    assert not factory.is_registered(Other, "x")
+
+
+def test_global_factory_has_packaged_models():
+    """All paper-described models register under their paper names."""
+    from repro import factory as global_factory
+    from repro import models
+    from repro.net.network import Network
+    from repro.router.base import Router
+    from repro.routing.base import RoutingAlgorithm
+
+    models.load_all()
+    router_names = global_factory.names(Router)
+    assert {"output_queued", "input_queued", "input_output_queued"} <= set(
+        router_names
+    )
+    network_names = global_factory.names(Network)
+    assert {"torus", "folded_clos", "hyperx", "dragonfly", "parking_lot"} <= set(
+        network_names
+    )
+    routing_names = global_factory.names(RoutingAlgorithm)
+    assert {
+        "torus_dimension_order",
+        "clos_adaptive",
+        "clos_deterministic",
+        "hyperx_ugal",
+        "hyperx_valiant",
+        "hyperx_dimension_order",
+        "dragonfly_minimal",
+        "chain",
+    } <= set(routing_names)

@@ -1,0 +1,61 @@
+"""Cross-cutting integration properties: determinism, latency physics."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+def test_bitwise_deterministic_event_counts():
+    """Two identical runs execute the exact same number of events."""
+    a = Simulation(Settings.from_dict(small_torus_config()))
+    a.run(max_time=200_000)
+    b = Simulation(Settings.from_dict(small_torus_config()))
+    b.run(max_time=200_000)
+    assert a.simulator.executed_events == b.simulator.executed_events
+    assert a.simulator.tick == b.simulator.tick
+    lat_a = [r.latency for r in a.message_log.records]
+    lat_b = [r.latency for r in b.message_log.records]
+    assert lat_a == lat_b
+
+
+def test_zero_load_latency_matches_physics():
+    """At near-zero load, message latency approaches the sum of wire,
+    router, and serialization delays -- no queueing."""
+    config = small_torus_config(injection_rate=0.01)
+    config["workload"]["applications"][0]["message_size"] = {
+        "type": "constant", "size": 1}
+    _sim, results = run_config(config)
+    # Minimum possible: 2 terminal links (1 tick each) + up to 4 ring
+    # hops (2 ticks each) + per-router core latency (2 ticks each).
+    minimum = results.latency().minimum()
+    assert minimum >= 1 + 1 + 2  # at least: two terminal links + a core
+    # Mean should be close to the minimum at this load (no queueing).
+    assert results.latency().mean() < 4 * minimum
+
+
+def test_latency_grows_with_load():
+    means = []
+    for rate in (0.1, 0.5, 0.75):
+        config = small_torus_config(injection_rate=rate)
+        _sim, results = run_config(config)
+        means.append(results.latency().mean())
+    assert means[0] < means[1] < means[2]
+
+
+def test_throughput_tracks_offered_below_saturation():
+    for rate in (0.1, 0.3, 0.5):
+        config = small_torus_config(injection_rate=rate)
+        _sim, results = run_config(config)
+        assert results.accepted_load() == pytest.approx(rate, abs=0.05)
+
+
+def test_hop_count_measured_matches_topology_minimum():
+    """Under DOR (minimal), measured hops == minimal hops + 1 (the
+    destination router also counts a hop when ejecting)."""
+    _sim, results = run_config(small_torus_config())
+    network = _sim.network
+    for record in results.records()[:200]:
+        expected = network.minimal_hops(record.source, record.destination)
+        for packet in record.packets:
+            assert packet.hop_count == expected + 1

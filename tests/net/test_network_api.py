@@ -1,0 +1,72 @@
+"""Network-level public API: channel utilization, lookups, wiring checks."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+def test_channel_utilization_report():
+    simulation, results = run_config(small_torus_config())
+    end = simulation.simulator.tick
+    report = simulation.network.channel_utilization(end)
+    assert report
+    # Sorted most-loaded first, all within [0, 1].
+    utilizations = [u for _name, u in report]
+    assert utilizations == sorted(utilizations, reverse=True)
+    assert all(0.0 <= u <= 1.0 for u in utilizations)
+    assert utilizations[0] > 0.0
+
+
+def test_channel_utilization_identifies_hotspot():
+    """All-to-one traffic concentrates on the links entering the target
+    terminal's router."""
+    config = small_torus_config()
+    config["workload"]["applications"][0]["traffic"] = {
+        "type": "all_to_one", "target": 0}
+    config["workload"]["applications"][0]["injection_rate"] = 0.05
+    simulation, results = run_config(config)
+    end = simulation.simulator.tick
+    report = simulation.network.channel_utilization(end)
+    # The single hottest channel must be the terminal link into
+    # interface 0 (everything funnels through it).
+    hottest_name, hottest_util = report[0]
+    channel = next(c for c in simulation.network.flit_channels
+                   if c.name == hottest_name)
+    assert channel.sink is simulation.network.interface(0)
+
+
+def test_interface_and_router_lookup():
+    simulation, _results = run_config(small_torus_config())
+    network = simulation.network
+    assert network.interface(3).interface_id == 3
+    assert network.router(5).router_id == 5
+    assert network.num_terminals == 16
+    assert network.num_routers == 16
+
+
+def test_total_flits_in_flight_zero_after_drain():
+    simulation, results = run_config(small_torus_config())
+    assert results.drained
+    assert simulation.network.total_flits_in_flight() == 0
+
+
+def test_unknown_topology_rejected():
+    config = small_torus_config()
+    config["network"]["topology"] = "mobius_strip"
+    with pytest.raises(Exception):
+        Simulation(Settings.from_dict(config))
+
+
+def test_unknown_router_architecture_rejected():
+    config = small_torus_config()
+    config["network"]["router"]["architecture"] = "quantum"
+    with pytest.raises(Exception):
+        Simulation(Settings.from_dict(config))
+
+
+def test_unknown_routing_algorithm_rejected():
+    config = small_torus_config()
+    config["network"]["routing"]["algorithm"] = "teleport"
+    with pytest.raises(Exception):
+        Simulation(Settings.from_dict(config))

@@ -1,0 +1,118 @@
+"""Arbiters: round robin fairness, age-based priority, validity."""
+
+import numpy as np
+import pytest
+
+from repro.config.settings import Settings
+from repro.net.message import Message
+from repro.router.arbiter import (
+    AgeBasedArbiter,
+    Arbiter,
+    FixedPriorityArbiter,
+    RandomArbiter,
+    RoundRobinArbiter,
+    create_arbiter,
+)
+
+
+def packet_with_age(injection_tick):
+    packet = Message(0, 0, 1, 1).packetize(1)[0]
+    packet.injection_tick = injection_tick
+    return packet
+
+
+class TestRoundRobin:
+    def test_empty_requests(self):
+        assert RoundRobinArbiter(4).arbitrate([]) is None
+
+    def test_single_request(self):
+        assert RoundRobinArbiter(4).arbitrate([(2, None)]) == 2
+
+    def test_rotation_over_persistent_requesters(self):
+        arbiter = RoundRobinArbiter(3)
+        requests = [(0, None), (1, None), (2, None)]
+        winners = [arbiter.arbitrate(list(requests)) for _ in range(6)]
+        assert winners == [0, 1, 2, 0, 1, 2]
+
+    def test_fairness_under_contention(self):
+        arbiter = RoundRobinArbiter(4)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(400):
+            winner = arbiter.arbitrate([(i, None) for i in range(4)])
+            counts[winner] += 1
+        assert all(count == 100 for count in counts.values())
+
+    def test_skips_non_requesters(self):
+        arbiter = RoundRobinArbiter(4)
+        assert arbiter.arbitrate([(1, None), (3, None)]) == 1
+        assert arbiter.arbitrate([(1, None), (3, None)]) == 3
+        assert arbiter.arbitrate([(1, None), (3, None)]) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(2).arbitrate([(5, None)])
+
+
+class TestAgeBased:
+    def test_oldest_wins(self):
+        arbiter = AgeBasedArbiter(4)
+        old = packet_with_age(10)
+        young = packet_with_age(90)
+        winner = arbiter.arbitrate([(0, young), (1, old)], now_tick=100)
+        assert winner == 1
+
+    def test_tie_breaks_by_index(self):
+        arbiter = AgeBasedArbiter(4)
+        a = packet_with_age(50)
+        b = packet_with_age(50)
+        assert arbiter.arbitrate([(3, a), (1, b)], now_tick=100) == 1
+
+    def test_missing_packet_is_age_zero(self):
+        arbiter = AgeBasedArbiter(4)
+        old = packet_with_age(0)
+        assert arbiter.arbitrate([(0, None), (1, old)], now_tick=50) == 1
+
+    def test_empty(self):
+        assert AgeBasedArbiter(2).arbitrate([]) is None
+
+
+class TestRandom:
+    def test_winner_is_a_requester(self):
+        arbiter = RandomArbiter(8, np.random.default_rng(0))
+        for _ in range(50):
+            winner = arbiter.arbitrate([(2, None), (5, None), (7, None)])
+            assert winner in (2, 5, 7)
+
+    def test_covers_all_requesters(self):
+        arbiter = RandomArbiter(4, np.random.default_rng(1))
+        winners = {
+            arbiter.arbitrate([(i, None) for i in range(4)]) for _ in range(200)
+        }
+        assert winners == {0, 1, 2, 3}
+
+
+class TestFixedPriority:
+    def test_lowest_index_wins(self):
+        arbiter = FixedPriorityArbiter(4)
+        assert arbiter.arbitrate([(3, None), (1, None), (2, None)]) == 1
+        # And it keeps winning: intentionally unfair.
+        assert arbiter.arbitrate([(3, None), (1, None)]) == 1
+
+
+class TestFactory:
+    def test_create_by_settings(self):
+        arbiter = create_arbiter(Settings.from_dict({"type": "age_based"}), 4)
+        assert isinstance(arbiter, AgeBasedArbiter)
+
+    def test_default_is_round_robin(self):
+        arbiter = create_arbiter(Settings.from_dict({}), 4)
+        assert isinstance(arbiter, RoundRobinArbiter)
+
+    def test_random_gets_rng(self):
+        rng = np.random.default_rng(7)
+        arbiter = create_arbiter(Settings.from_dict({"type": "random"}), 4, rng)
+        assert isinstance(arbiter, RandomArbiter)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)

@@ -1,0 +1,179 @@
+"""Congestion sensors: delayed visibility, accounting styles (§VI-A/B)."""
+
+import pytest
+
+from repro.config.settings import Settings
+from repro.core.component import Component
+from repro.core.simulator import Simulator
+from repro.router.congestion import (
+    GRANULARITY_PORT,
+    SOURCE_BOTH,
+    SOURCE_DOWNSTREAM,
+    SOURCE_OUTPUT,
+    CreditSensor,
+)
+
+
+def make_sensor(sim, latency=1, granularity="vc", source="downstream",
+                num_ports=2, num_vcs=2):
+    parent = Component(sim, f"host{id(sim) % 1000}_{latency}_{granularity}_{source}")
+    settings = Settings.from_dict(
+        {"latency": latency, "granularity": granularity, "source": source}
+    )
+    return CreditSensor(sim, "sensor", parent, num_ports, num_vcs, settings)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_update_not_visible_before_latency(sim):
+    sensor = make_sensor(sim, latency=10)
+    sensor.init_port(0, downstream_capacity=[8, 8])
+    seen = {}
+
+    def record(event):
+        sensor.record(SOURCE_DOWNSTREAM, 0, 0, +4)
+
+    def check_early(event):
+        seen["early"] = sensor.status(0, 0)
+
+    def check_late(event):
+        seen["late"] = sensor.status(0, 0)
+
+    sim.call_at(0, record, epsilon=1)
+    sim.call_at(5, check_early)
+    sim.call_at(10, check_late)
+    sim.run()
+    assert seen["early"] == 0.0
+    assert seen["late"] == pytest.approx(0.5)
+
+
+def test_latent_view_is_stale_not_averaged(sim):
+    """The sensed value is exactly the old value during the window."""
+    sensor = make_sensor(sim, latency=4)
+    sensor.init_port(0, downstream_capacity=[10])
+    values = []
+
+    def record(event):
+        sensor.record(SOURCE_DOWNSTREAM, 0, 0, +5)
+
+    sim.call_at(0, record, epsilon=1)
+    for tick in range(1, 8):
+        sim.call_at(tick, lambda e: values.append(sensor.status(0, 0)))
+    sim.run()
+    assert values == [0.0, 0.0, 0.0, pytest.approx(0.5), pytest.approx(0.5),
+                      pytest.approx(0.5), pytest.approx(0.5)]
+
+
+def test_vc_granularity_isolates_vcs(sim):
+    sensor = make_sensor(sim, granularity="vc")
+    sensor.init_port(0, downstream_capacity=[4, 4])
+    out = {}
+
+    def go(event):
+        sensor.record(SOURCE_DOWNSTREAM, 0, 0, +4)
+
+    def check(event):
+        out["vc0"] = sensor.status(0, 0)
+        out["vc1"] = sensor.status(0, 1)
+
+    sim.call_at(0, go, epsilon=1)
+    sim.call_at(5, check)
+    sim.run()
+    assert out["vc0"] == pytest.approx(1.0)
+    assert out["vc1"] == 0.0
+
+
+def test_port_granularity_aggregates_vcs(sim):
+    sensor = make_sensor(sim, granularity=GRANULARITY_PORT)
+    sensor.init_port(0, downstream_capacity=[4, 4])
+    out = {}
+
+    def go(event):
+        sensor.record(SOURCE_DOWNSTREAM, 0, 0, +4)
+
+    def check(event):
+        # 4 of 8 total slots occupied regardless of which VC is asked.
+        out["vc0"] = sensor.status(0, 0)
+        out["vc1"] = sensor.status(0, 1)
+
+    sim.call_at(0, go, epsilon=1)
+    sim.call_at(5, check)
+    sim.run()
+    assert out["vc0"] == pytest.approx(0.5)
+    assert out["vc1"] == pytest.approx(0.5)
+
+
+def test_source_selection(sim):
+    out = {}
+
+    def build(source):
+        sensor = make_sensor(sim, latency=1, source=source)
+        sensor.init_port(0, output_capacity=[4, 4],
+                         downstream_capacity=[8, 8])
+        return sensor
+
+    sensors = {s: build(s) for s in (SOURCE_OUTPUT, SOURCE_DOWNSTREAM, SOURCE_BOTH)}
+
+    def go(event):
+        for sensor in sensors.values():
+            sensor.record(SOURCE_OUTPUT, 0, 0, +2)      # 2/4 output
+            sensor.record(SOURCE_DOWNSTREAM, 0, 0, +2)  # 2/8 downstream
+
+    def check(event):
+        for name, sensor in sensors.items():
+            out[name] = sensor.status(0, 0)
+
+    sim.call_at(0, go, epsilon=1)
+    sim.call_at(5, check)
+    sim.run()
+    assert out[SOURCE_OUTPUT] == pytest.approx(0.5)
+    assert out[SOURCE_DOWNSTREAM] == pytest.approx(0.25)
+    assert out[SOURCE_BOTH] == pytest.approx(4 / 12)
+
+
+def test_infinite_capacity_reference(sim):
+    sensor = make_sensor(sim, source=SOURCE_OUTPUT)
+    sensor.init_port(0, output_capacity=[None, None])
+    out = {}
+
+    def go(event):
+        sensor.record(SOURCE_OUTPUT, 0, 0, +32)
+
+    def check(event):
+        out["value"] = sensor.status(0, 0)
+
+    sim.call_at(0, go, epsilon=1)
+    sim.call_at(5, check)
+    sim.run()
+    # 32 flits against the 64-flit reference depth.
+    assert out["value"] == pytest.approx(0.5)
+
+
+def test_uninitialized_key_rejected(sim):
+    sensor = make_sensor(sim)
+    with pytest.raises(KeyError):
+        sensor.record(SOURCE_DOWNSTREAM, 1, 0, +1)
+
+
+def test_unknown_settings_rejected(sim):
+    with pytest.raises(ValueError):
+        make_sensor(sim, granularity="bogus")
+    with pytest.raises(ValueError):
+        make_sensor(sim, source="bogus")
+
+
+def test_raw_occupancy(sim):
+    sensor = make_sensor(sim, latency=2)
+    sensor.init_port(0, downstream_capacity=[4])
+    out = {}
+
+    def go(event):
+        sensor.record(SOURCE_DOWNSTREAM, 0, 0, +3)
+
+    sim.call_at(0, go, epsilon=1)
+    sim.call_at(5, lambda e: out.update(v=sensor.raw_occupancy(SOURCE_DOWNSTREAM, 0, 0)))
+    sim.run()
+    assert out["v"] == 3

@@ -1,0 +1,112 @@
+"""Latency distributions and percentile math."""
+
+import numpy as np
+import pytest
+
+from repro.stats.latency import STANDARD_PERCENTILES, LatencyDistribution
+
+
+class TestBasics:
+    def test_mean_min_max(self):
+        dist = LatencyDistribution([10, 20, 30])
+        assert dist.mean() == 20.0
+        assert dist.minimum() == 10.0
+        assert dist.maximum() == 30.0
+        assert len(dist) == 3
+
+    def test_empty(self):
+        dist = LatencyDistribution([])
+        assert dist.empty
+        assert np.isnan(dist.mean())
+        assert np.isnan(dist.percentile(99))
+
+    def test_percentile_semantics(self):
+        # 1..100: the 99th percentile is a sample not exceeded by 99%.
+        dist = LatencyDistribution(range(1, 101))
+        assert dist.percentile(50) == 50
+        assert dist.percentile(99) == 99
+        assert dist.percentile(100) == 100
+        assert dist.percentile(0) == 1
+
+    def test_percentile_bounds_checked(self):
+        dist = LatencyDistribution([1])
+        with pytest.raises(ValueError):
+            dist.percentile(101)
+
+    def test_paper_figure7_interpretation(self):
+        """'The 99.9th percentile latency is X means only 1 in 1000
+        packets experience latency greater than X' (paper §V)."""
+        samples = [100] * 999 + [592]
+        dist = LatencyDistribution(samples)
+        assert dist.percentile(99.9) == 100
+        exceeding = sum(1 for s in samples if s > dist.percentile(99.9))
+        assert exceeding == 1
+
+    def test_summary_keys(self):
+        dist = LatencyDistribution(range(100))
+        summary = dist.summary()
+        assert summary["count"] == 100
+        for percent in STANDARD_PERCENTILES:
+            assert f"p{percent:g}" in summary
+
+
+class TestShapes:
+    def test_cdf_monotone(self):
+        dist = LatencyDistribution([5, 1, 3, 2, 4])
+        x, y = dist.cdf()
+        assert list(x) == [1, 2, 3, 4, 5]
+        assert list(y) == [0.2, 0.4, 0.6, 0.8, 1.0]
+
+    def test_pdf_integrates_to_one(self):
+        rng = np.random.default_rng(0)
+        dist = LatencyDistribution(rng.normal(100, 10, 5000))
+        centers, density = dist.pdf(num_bins=40)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=0.01)
+
+    def test_percentile_curve_monotone(self):
+        rng = np.random.default_rng(0)
+        dist = LatencyDistribution(rng.exponential(50, 10000))
+        latencies, nines = dist.percentile_curve(max_nines=3)
+        assert len(latencies) == len(nines)
+        assert all(np.diff(latencies) >= 0)
+        assert all(np.diff(nines) > 0)
+
+    def test_samples_copy(self):
+        dist = LatencyDistribution([3, 1, 2])
+        samples = dist.samples()
+        samples[0] = 999
+        assert dist.minimum() == 1.0
+
+
+class TestFromRecords:
+    def _record(self, created, delivered, send, recv):
+        class PacketStub:
+            def __init__(self, send, recv):
+                self.send_tick = send
+                self.receive_tick = recv
+
+            @property
+            def latency(self):
+                return self.receive_tick - self.send_tick
+
+        class RecordStub:
+            def __init__(self):
+                self.latency = delivered - created
+                self.network_latency = recv - send
+                self.packets = [PacketStub(send, recv)]
+
+        return RecordStub()
+
+    def test_kinds(self):
+        records = [self._record(0, 50, 5, 40), self._record(10, 40, 15, 35)]
+        message = LatencyDistribution.from_records(records, "message")
+        network = LatencyDistribution.from_records(records, "network")
+        packet = LatencyDistribution.from_records(records, "packet")
+        assert message.mean() == 40.0
+        assert network.mean() == pytest.approx(27.5)
+        assert packet.mean() == pytest.approx(27.5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution.from_records([], "bogus")

@@ -1,0 +1,72 @@
+"""The progress monitor."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import small_torus_config
+
+
+def test_monitor_samples_on_period():
+    config = small_torus_config()
+    config["simulator"]["monitor"] = {"period": 500}
+    simulation = Simulation(Settings.from_dict(config))
+    simulation.run(max_time=100_000)
+    monitor = simulation.monitor
+    assert monitor is not None
+    assert len(monitor.history) >= 3
+    ticks = [s.tick for s in monitor.history]
+    assert ticks == sorted(ticks)
+    assert all(t % 500 == 0 for t in ticks)
+
+
+def test_monitor_counters_monotone():
+    config = small_torus_config()
+    config["simulator"]["monitor"] = {"period": 400}
+    simulation = Simulation(Settings.from_dict(config))
+    simulation.run(max_time=100_000)
+    history = simulation.monitor.history
+    events = [s.executed_events for s in history]
+    flits = [s.flits_ejected for s in history]
+    assert events == sorted(events)
+    assert flits == sorted(flits)
+    assert simulation.monitor.event_rate() > 0
+    assert simulation.monitor.delivery_rate() > 0
+
+
+def test_monitor_does_not_prevent_drain():
+    """The monitor must stop sampling once it is the only event source,
+    or the queue would never empty."""
+    config = small_torus_config()
+    config["simulator"]["monitor"] = {"period": 100}
+    simulation = Simulation(Settings.from_dict(config))
+    results = simulation.run(max_time=200_000)
+    assert results.drained
+    assert simulation.simulator.queue_size <= 1  # at most the last sample
+
+
+def test_no_monitor_by_default():
+    simulation = Simulation(Settings.from_dict(small_torus_config()))
+    assert simulation.monitor is None
+
+
+def test_monitor_callback():
+    config = small_torus_config()
+    seen = []
+    from repro.stats.monitor import ProgressMonitor
+
+    simulation = Simulation(Settings.from_dict(config))
+    ProgressMonitor(simulation.simulator, "extra_monitor",
+                    simulation.network, 1000, callback=seen.append)
+    simulation.run(max_time=100_000)
+    assert seen
+    assert seen[0].tick == 1000
+
+
+def test_invalid_period():
+    from repro.core.simulator import Simulator
+    from repro.stats.monitor import ProgressMonitor
+
+    simulation = Simulation(Settings.from_dict(small_torus_config()))
+    with pytest.raises(ValueError):
+        ProgressMonitor(simulation.simulator, "bad_monitor",
+                        simulation.network, 0)

@@ -1,0 +1,79 @@
+"""Message records, the message log, and JSONL round trips."""
+
+import pytest
+
+from repro.stats.records import MessageRecord, read_jsonl
+from repro.tools.ssparse import parse_file
+from tests.conftest import run_config, small_torus_config
+
+
+@pytest.fixture(scope="module")
+def run():
+    simulation, results = run_config(small_torus_config())
+    return simulation, results
+
+
+def test_log_captures_every_delivery(run):
+    simulation, results = run
+    delivered = sum(i.messages_delivered for i in simulation.network.interfaces)
+    assert len(simulation.message_log) == delivered
+
+
+def test_record_fields(run):
+    simulation, _results = run
+    record = simulation.message_log.records[0]
+    assert record.delivered_tick >= record.created_tick
+    assert record.latency >= 0
+    assert record.network_latency >= 0
+    assert record.num_flits == 4
+    assert record.packets
+    for packet in record.packets:
+        assert packet.receive_tick >= packet.send_tick
+        assert packet.hop_count >= 1  # at least the destination router
+
+
+def test_minimal_hops_annotation(run):
+    simulation, _results = run
+    for record in simulation.message_log.records[:50]:
+        # DOR is minimal: hop count equals the annotated minimal distance
+        # plus one for the destination router itself.
+        observed = max(p.hop_count for p in record.packets)
+        assert observed == record.minimal_hops + 1
+
+
+def test_sampled_filter(run):
+    simulation, _results = run
+    sampled = simulation.message_log.sampled()
+    assert 0 < len(sampled) < len(simulation.message_log)
+
+
+def test_flits_delivered_between(run):
+    simulation, results = run
+    workload = results.workload
+    during = simulation.message_log.flits_delivered_between(
+        workload.start_tick, workload.stop_tick
+    )
+    total = sum(r.num_flits for r in simulation.message_log.records)
+    assert 0 < during < total
+
+
+def test_jsonl_round_trip(run, tmp_path):
+    simulation, _results = run
+    path = tmp_path / "messages.jsonl"
+    count = simulation.message_log.write_jsonl(str(path))
+    loaded = read_jsonl(str(path))
+    assert len(loaded) == count
+    original = simulation.message_log.records[0]
+    restored = loaded[0]
+    assert restored.message_id == original.message_id
+    assert restored.latency == original.latency
+    assert restored.packets[0].hop_count == original.packets[0].hop_count
+    assert restored.minimal_hops == original.minimal_hops
+
+
+def test_parse_file_integration(run, tmp_path):
+    simulation, _results = run
+    path = tmp_path / "messages.jsonl"
+    simulation.message_log.write_jsonl(str(path))
+    result = parse_file(str(path), ["+sampled=true"])
+    assert len(result) == len(simulation.message_log.sampled())

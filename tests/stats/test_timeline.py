@@ -1,0 +1,59 @@
+"""Time-binned statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.timeline import delivery_rate_timeline, latency_timeline
+
+
+class RecordStub:
+    def __init__(self, created, delivered, flits=1):
+        self.created_tick = created
+        self.delivered_tick = delivered
+        self.latency = delivered - created
+        self.num_flits = flits
+
+
+class TestLatencyTimeline:
+    def test_basic_binning(self):
+        records = [RecordStub(0, 10), RecordStub(50, 80),
+                   RecordStub(150, 160)]
+        centers, means, counts = latency_timeline(records, bin_ticks=100)
+        assert list(counts) == [2, 1]
+        assert means[0] == pytest.approx(20.0)
+        assert means[1] == pytest.approx(10.0)
+
+    def test_empty_bins_are_nan(self):
+        records = [RecordStub(0, 5), RecordStub(250, 260)]
+        _centers, means, counts = latency_timeline(records, bin_ticks=100)
+        assert counts[1] == 0
+        assert np.isnan(means[1])
+
+    def test_explicit_range(self):
+        records = [RecordStub(150, 160)]
+        centers, _means, counts = latency_timeline(
+            records, bin_ticks=100, start_tick=0, end_tick=300)
+        assert len(counts) >= 3
+        assert counts[0] == 0
+        assert counts[1] == 1
+
+    def test_no_records(self):
+        centers, means, counts = latency_timeline([], 100)
+        assert len(centers) == 0
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            latency_timeline([RecordStub(0, 1)], 0)
+
+
+class TestDeliveryRateTimeline:
+    def test_rate_normalization(self):
+        # 4 flits delivered in one 100-tick bin across 2 terminals:
+        # 4 / (100 * 2) = 0.02 flits/terminal/tick.
+        records = [RecordStub(0, 10, flits=2), RecordStub(0, 20, flits=2)]
+        _centers, rates = delivery_rate_timeline(records, 100, 2)
+        assert rates[0] == pytest.approx(0.02)
+
+    def test_empty(self):
+        centers, rates = delivery_rate_timeline([], 100, 4)
+        assert len(centers) == 0

@@ -1,0 +1,83 @@
+"""The Table I configuration builders."""
+
+import pytest
+
+from repro import Settings, Simulation
+from repro.configs import (
+    blast_pulse_config,
+    credit_accounting_config,
+    flow_control_config,
+    latent_congestion_config,
+    table1,
+    with_overrides,
+)
+
+
+class TestBuilders:
+    def test_latent_congestion_parameters_flow_through(self):
+        config = latent_congestion_config(congestion_latency=7,
+                                          output_queue_depth=None,
+                                          injection_rate=0.4)
+        sensor = config["network"]["router"]["congestion_sensor"]
+        assert sensor["latency"] == 7
+        assert config["network"]["router"]["output_queue_depth"] is None
+        app = config["workload"]["applications"][0]
+        assert app["injection_rate"] == 0.4
+
+    def test_latent_congestion_scales(self):
+        scaled = latent_congestion_config()
+        full = latent_congestion_config(full_scale=True)
+        assert scaled["network"]["half_radix"] < full["network"]["half_radix"]
+        assert full["network"]["half_radix"] ** 3 == 4096
+
+    def test_credit_accounting_styles(self):
+        config = credit_accounting_config(granularity="vc", source="both")
+        sensor = config["network"]["router"]["congestion_sensor"]
+        assert sensor["granularity"] == "vc"
+        assert sensor["source"] == "both"
+
+    def test_credit_accounting_full_scale_matches_paper(self):
+        config = credit_accounting_config(full_scale=True)
+        network = config["network"]
+        assert network["dimension_widths"] == [32]
+        assert network["concentration"] == 32
+        assert network["router"]["input_queue_depth"] == 128
+        assert network["router"]["output_queue_depth"] == 256
+
+    def test_flow_control_variants(self):
+        config = flow_control_config(flow_control="packet_buffer",
+                                     num_vcs=4, message_size=16)
+        scheduler = config["network"]["router"]["crossbar_scheduler"]
+        assert scheduler["flow_control"] == "packet_buffer"
+        assert config["network"]["num_vcs"] == 4
+        size = config["workload"]["applications"][0]["message_size"]["size"]
+        assert size == 16
+
+    def test_table1_has_all_three_studies(self):
+        configs = table1()
+        assert set(configs) == {
+            "latent_congestion_detection",
+            "congestion_credit_accounting",
+            "flow_control_techniques",
+        }
+
+    def test_with_overrides_copies(self):
+        base = latent_congestion_config()
+        derived = with_overrides(base, simulator={"seed": 999})
+        assert derived["simulator"]["seed"] == 999
+        assert base["simulator"]["seed"] != 999
+
+
+class TestConfigsAreBuildable:
+    """Every builder output constructs a working simulation."""
+
+    @pytest.mark.parametrize("builder,kwargs", [
+        (latent_congestion_config, {"half_radix": 2}),
+        (credit_accounting_config, {}),
+        (flow_control_config, {}),
+        (blast_pulse_config, {}),
+    ])
+    def test_constructs(self, builder, kwargs):
+        config = builder(**kwargs)
+        simulation = Simulation(Settings.from_dict(config))
+        assert simulation.network.num_terminals > 0

@@ -1,0 +1,35 @@
+"""The example scripts are runnable and produce their headline output.
+
+Only the quick examples run here (the studies take minutes); each is
+executed in-process with its module namespace isolated.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, capsys):
+    sys.argv = [path]
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("examples/quickstart.py", capsys)
+    assert "drained:         True" in out
+    assert "p99" in out
+    assert "slowest message" in out
+
+
+def test_custom_model(capsys):
+    out = run_example("examples/custom_model.py", capsys)
+    assert "drained: True" in out
+    assert "hot terminals" in out
+
+
+def test_transient_blast_pulse(capsys):
+    out = run_example("examples/transient_blast_pulse.py", capsys)
+    assert "pulse burst" in out
+    assert "|" in out  # the ASCII plot frame

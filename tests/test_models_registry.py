@@ -1,0 +1,51 @@
+"""models.load_all(): idempotency and registry completeness."""
+
+from repro import factory, models
+from repro.net.interface import Interface
+from repro.net.network import Network
+from repro.router.base import Router
+from repro.router.congestion import CongestionSensor
+from repro.routing.base import RoutingAlgorithm
+from repro.workload.application import Application
+from repro.workload.injection import InjectionProcess
+from repro.workload.size import MessageSizeDistribution
+from repro.workload.traffic import TrafficPattern
+
+
+def test_load_all_idempotent():
+    models.load_all()
+    before = {
+        base: tuple(factory.names(base))
+        for base in (Network, Router, RoutingAlgorithm, TrafficPattern)
+    }
+    models.load_all()
+    after = {
+        base: tuple(factory.names(base))
+        for base in (Network, Router, RoutingAlgorithm, TrafficPattern)
+    }
+    assert before == after
+
+
+def test_all_paper_models_registered():
+    models.load_all()
+    assert set(factory.names(Router)) >= {
+        "output_queued", "input_queued", "input_output_queued"}
+    assert set(factory.names(Network)) >= {
+        "torus", "folded_clos", "hyperx", "dragonfly", "parking_lot"}
+    assert set(factory.names(RoutingAlgorithm)) >= {
+        "torus_dimension_order", "torus_minimal_adaptive",
+        "clos_deterministic", "clos_adaptive",
+        "hyperx_dimension_order", "hyperx_valiant", "hyperx_ugal",
+        "dragonfly_minimal", "dragonfly_valiant", "dragonfly_ugal",
+        "chain"}
+    assert set(factory.names(TrafficPattern)) >= {
+        "uniform_random", "bit_complement", "tornado", "transpose",
+        "bit_reverse", "neighbor", "random_permutation", "all_to_one",
+        "uniform_to_root"}
+    assert set(factory.names(Application)) >= {
+        "blast", "pulse", "request_reply"}
+    assert set(factory.names(MessageSizeDistribution)) >= {
+        "constant", "uniform", "probability"}
+    assert set(factory.names(InjectionProcess)) >= {"bernoulli", "periodic"}
+    assert set(factory.names(Interface)) >= {"standard"}
+    assert set(factory.names(CongestionSensor)) >= {"credit"}

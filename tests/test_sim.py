@@ -1,0 +1,88 @@
+"""Top-level Simulation and SimulationResults."""
+
+import math
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+def test_determinism_same_seed():
+    a = run_config(small_torus_config())[1]
+    b = run_config(small_torus_config())[1]
+    assert a.latency().mean() == b.latency().mean()
+    assert a.accepted_load() == b.accepted_load()
+    assert len(a.records()) == len(b.records())
+
+
+def test_different_seed_differs():
+    config = small_torus_config()
+    config["simulator"]["seed"] = 99
+    a = run_config(small_torus_config())[1]
+    b = run_config(config)[1]
+    assert a.latency().mean() != b.latency().mean()
+
+
+def test_offered_load_tracks_injection_rate():
+    _sim, results = run_config(small_torus_config())
+    assert results.offered_load() == pytest.approx(0.2, abs=0.05)
+
+
+def test_accepted_matches_offered_below_saturation():
+    _sim, results = run_config(small_torus_config())
+    assert results.accepted_load() == pytest.approx(results.offered_load(),
+                                                    abs=0.03)
+
+
+def test_saturated_run_reports_undelivered():
+    config = small_torus_config(injection_rate=0.9)
+    # Tornado on an 8-ary 1-cube shifts every source by 3: each ring
+    # link carries 3x the injection rate, so DOR saturates at ~1/3.
+    config["network"]["dimension_widths"] = [8]
+    config["workload"]["applications"][0]["traffic"] = {"type": "tornado"}
+    _sim, results = run_config(config, max_time=20_000)
+    assert not results.drained
+    assert results.delivered_fraction() < 1.0
+    assert results.accepted_load() < 0.6
+
+
+def test_latency_kinds_are_ordered():
+    _sim, results = run_config(small_torus_config())
+    message = results.latency(kind="message").mean()
+    network = results.latency(kind="network").mean()
+    # Message latency includes source queueing: >= pure network latency.
+    assert message >= network
+
+
+def test_summary_is_json_serializable():
+    import json
+
+    _sim, results = run_config(small_torus_config())
+    text = json.dumps(results.summary())
+    assert "accepted_load" in text
+
+
+def test_max_time_from_settings():
+    config = small_torus_config(injection_rate=0.9)
+    config["workload"]["applications"][0]["traffic"] = {"type": "tornado"}
+    config["simulator"]["max_time"] = 5_000
+    simulation = Simulation(Settings.from_dict(config))
+    results = simulation.run()
+    assert simulation.simulator.tick <= 5_000
+
+
+def test_records_filtering():
+    _sim, results = run_config(small_torus_config())
+    all_records = results.records(sampled_only=False)
+    sampled = results.records(sampled_only=True)
+    assert len(sampled) < len(all_records)
+    app0 = results.records(application_id=0)
+    assert len(app0) == len(sampled)
+
+
+def test_window_is_reported():
+    _sim, results = run_config(small_torus_config())
+    assert results.start_tick is not None
+    assert results.stop_tick is not None
+    assert results.stop_tick - results.start_tick == 1500

@@ -1,0 +1,65 @@
+"""The ssparse and ssplot command line executables."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import ssparse_main, ssplot_main
+from tests.conftest import run_config, small_torus_config
+
+
+@pytest.fixture(scope="module")
+def log_file(tmp_path_factory):
+    simulation, _results = run_config(small_torus_config())
+    path = tmp_path_factory.mktemp("logs") / "messages.jsonl"
+    simulation.message_log.write_jsonl(str(path))
+    return path
+
+
+def test_ssparse_summary(log_file, capsys):
+    code = ssparse_main([str(log_file), "+sampled=true"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["messages"] > 0
+    assert summary["message_latency"]["mean"] > 0
+
+
+def test_ssparse_filters_reduce(log_file, capsys):
+    ssparse_main([str(log_file)])
+    all_count = json.loads(capsys.readouterr().out)["messages"]
+    ssparse_main([str(log_file), "+src=0"])
+    filtered = json.loads(capsys.readouterr().out)["messages"]
+    assert 0 < filtered < all_count
+
+
+def test_ssparse_csv_export(log_file, tmp_path, capsys):
+    out = tmp_path / "samples.csv"
+    code = ssparse_main([str(log_file), "--csv", str(out)])
+    assert code == 0
+    assert out.read_text().startswith("id,app,")
+
+
+def test_ssparse_empty_result_exit_code(log_file, capsys):
+    code = ssparse_main([str(log_file), "+app=42"])
+    assert code == 1
+
+
+@pytest.mark.parametrize("kind", ["percentile", "pdf", "cdf", "timeline"])
+def test_ssplot_kinds(log_file, kind, capsys, tmp_path):
+    csv = tmp_path / f"{kind}.csv"
+    code = ssplot_main([str(log_file), "--kind", kind, "--csv", str(csv)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "|" in out  # the ASCII frame
+    assert csv.exists()
+
+
+def test_ssplot_latency_kind_option(log_file, capsys):
+    code = ssplot_main([str(log_file), "--kind", "cdf",
+                        "--latency", "network"])
+    assert code == 0
+
+
+def test_ssplot_no_matches(log_file, capsys):
+    code = ssplot_main([str(log_file), "+app=42"])
+    assert code == 1

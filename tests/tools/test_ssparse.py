@@ -1,0 +1,118 @@
+"""ssparse: the filter language and aggregations (paper §V)."""
+
+import pytest
+
+from repro.stats.records import MessageRecord
+from repro.tools.ssparse import (
+    Filter,
+    FilterError,
+    apply_filters,
+    parse_records,
+)
+
+
+def record(app=0, src=0, dst=1, flits=1, created=100, delivered=150,
+           sampled=True, nonmin=False, hops=3):
+    data = {
+        "id": 1, "app": app, "txn": 1, "src": src, "dst": dst,
+        "flits": flits, "sampled": sampled, "created": created,
+        "delivered": delivered, "min_hops": hops,
+        "packets": [{"send": created, "recv": delivered, "hops": hops,
+                     "nonmin": nonmin}],
+    }
+    return MessageRecord.from_dict(data)
+
+
+class TestFilterParsing:
+    def test_exact_match(self):
+        f = Filter("+app=0")
+        assert f.admits(record(app=0))
+        assert not f.admits(record(app=1))
+
+    def test_drop_polarity(self):
+        f = Filter("-app=0")
+        assert not f.admits(record(app=0))
+        assert f.admits(record(app=1))
+
+    def test_paper_send_range_example(self):
+        """'+send=500-1000' keeps traffic sent from 500 to 1000."""
+        f = Filter("+send=500-1000")
+        assert f.admits(record(created=500))
+        assert f.admits(record(created=750))
+        assert f.admits(record(created=1000))
+        assert not f.admits(record(created=499))
+        assert not f.admits(record(created=1001))
+
+    def test_open_ranges(self):
+        assert Filter("+send=500-").admits(record(created=10**9))
+        assert not Filter("+send=500-").admits(record(created=499))
+        assert Filter("+send=-500").admits(record(created=0))
+        assert not Filter("+send=-500").admits(record(created=501))
+
+    def test_value_set(self):
+        f = Filter("+dst=1,3,5")
+        assert f.admits(record(dst=3))
+        assert not f.admits(record(dst=2))
+
+    def test_boolean_fields(self):
+        assert Filter("+sampled=true").admits(record(sampled=True))
+        assert not Filter("+sampled=true").admits(record(sampled=False))
+        assert Filter("+nonmin=false").admits(record(nonmin=False))
+
+    def test_latency_field(self):
+        f = Filter("+latency=50-60")
+        assert f.admits(record(created=100, delivered=155))
+        assert not f.admits(record(created=100, delivered=180))
+
+    def test_malformed_filters(self):
+        for bad in ("app=0", "+app", "+unknown=3", "*app=1", "+sampled=maybe"):
+            with pytest.raises(FilterError):
+                Filter(bad)
+
+
+class TestApplyFilters:
+    def test_conjunction(self):
+        records = [
+            record(app=0, created=400),
+            record(app=0, created=600),
+            record(app=1, created=600),
+        ]
+        kept = apply_filters(records, ["+app=0", "+send=500-1000"])
+        assert len(kept) == 1
+        assert kept[0].created_tick == 600
+
+    def test_no_filters_keeps_all(self):
+        records = [record(), record()]
+        assert len(apply_filters(records, [])) == 2
+
+
+class TestParseResult:
+    def test_summary(self):
+        records = [record(delivered=150), record(delivered=160),
+                   record(nonmin=True)]
+        result = parse_records(records)
+        summary = result.summary()
+        assert summary["messages"] == 3
+        assert summary["message_latency"]["count"] == 3
+        assert summary["non_minimal_fraction"] == pytest.approx(1 / 3)
+        assert summary["mean_hops"] == 3.0
+
+    def test_latency_kinds(self):
+        result = parse_records([record(created=0, delivered=100)])
+        assert result.latency("message").mean() == 100.0
+        assert result.latency("packet").mean() == 100.0
+
+    def test_csv_export(self, tmp_path):
+        result = parse_records([record(), record(app=2)])
+        path = tmp_path / "out.csv"
+        count = result.write_csv(str(path))
+        assert count == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("id,app,")
+        assert len(lines) == 3
+
+    def test_empty_result(self):
+        result = parse_records([], ["+app=5"])
+        summary = result.summary()
+        assert summary["messages"] == 0
+        assert summary["message_latency"] is None

@@ -1,0 +1,122 @@
+"""ssplot: plot data builders and renderers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.latency import LatencyDistribution
+from repro.tools.ssplot import (
+    LoadLatencyPlot,
+    PlotData,
+    Series,
+    latency_cdf,
+    latency_pdf,
+    latency_vs_time,
+    percentile_distribution,
+)
+
+
+class RecordStub:
+    def __init__(self, created, latency):
+        self.created_tick = created
+        self.latency = latency
+
+
+class TestPlotData:
+    def test_series_length_check(self):
+        with pytest.raises(ValueError):
+            Series("bad", [1, 2], [1])
+
+    def test_csv_export(self, tmp_path):
+        plot = PlotData("test", "x", "y")
+        plot.add("a", [1, 2], [10, 20])
+        plot.add("b", [1], [5])
+        path = tmp_path / "plot.csv"
+        plot.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "# test"
+        assert lines[1] == "series,x,y"
+        assert "a,1,10" in lines
+        assert "b,1,5" in lines
+
+    def test_ascii_render(self):
+        plot = PlotData("demo", "load", "latency")
+        plot.add("mean", [0.1, 0.2, 0.3], [10, 20, 40])
+        text = plot.render_ascii(width=40, height=10)
+        assert "demo" in text
+        assert "o=mean" in text
+        assert "o" in text
+
+    def test_ascii_render_empty(self):
+        plot = PlotData("empty", "x", "y")
+        assert "(no data)" in plot.render_ascii()
+
+    def test_ascii_render_skips_nan(self):
+        plot = PlotData("nan", "x", "y")
+        plot.add("s", [1, 2, 3], [1, float("nan"), 3])
+        text = plot.render_ascii(width=20, height=5)
+        assert "nan" in text  # the title, not a crash
+
+
+class TestBuilders:
+    def test_latency_vs_time_binning(self):
+        records = [RecordStub(0, 10), RecordStub(5, 20), RecordStub(105, 50)]
+        plot = latency_vs_time(records, bin_ticks=100)
+        series = plot.series[0]
+        assert len(series) == 2
+        assert series.y[0] == 15.0
+        assert series.y[1] == 50.0
+
+    def test_percentile_distribution(self):
+        dist = LatencyDistribution(np.random.default_rng(0).exponential(100, 5000))
+        plot = percentile_distribution(dist, max_nines=3)
+        series = plot.series[0]
+        assert all(np.diff(series.x) >= 0)
+
+    def test_pdf_cdf(self):
+        dist = LatencyDistribution([1, 2, 3, 4, 5])
+        assert len(latency_pdf(dist, num_bins=5).series[0]) == 5
+        cdf = latency_cdf(dist).series[0]
+        assert cdf.y[-1] == 1.0
+
+
+class TestLoadLatencyPlot:
+    def _dist(self, base):
+        return LatencyDistribution(range(base, base + 100))
+
+    def test_lines_stop_at_saturation(self):
+        """A saturated network yields unbounded latency; the plot lines
+        stop there (paper Fig. 8)."""
+        plot = LoadLatencyPlot()
+        plot.add_point(0.1, self._dist(10))
+        plot.add_point(0.5, self._dist(30))
+        plot.add_point(0.9, self._dist(10_000), saturated=True)
+        data = plot.build()
+        mean = next(s for s in data.series if s.name == "mean")
+        assert list(mean.x) == [0.1, 0.5]
+        assert plot.saturation_load() == 0.9
+
+    def test_percentile_lines_present(self):
+        plot = LoadLatencyPlot(percentiles=(50.0, 99.0))
+        plot.add_point(0.2, self._dist(10))
+        data = plot.build()
+        names = {s.name for s in data.series}
+        assert names == {"mean", "p50", "p99"}
+
+    def test_points_sorted_by_load(self):
+        plot = LoadLatencyPlot()
+        plot.add_point(0.5, self._dist(30))
+        plot.add_point(0.1, self._dist(10))
+        data = plot.build()
+        mean = data.series[0]
+        assert list(mean.x) == [0.1, 0.5]
+
+    def test_throughput_table(self):
+        plot = LoadLatencyPlot()
+        plot.add_point(0.1, self._dist(10))
+        plot.add_point(0.3, self._dist(20))
+        table = plot.throughput_table()
+        assert [round(load, 1) for load, _m in table] == [0.1, 0.3]
+
+    def test_no_points(self):
+        assert LoadLatencyPlot().build().series == []
+        assert LoadLatencyPlot().saturation_load() is None

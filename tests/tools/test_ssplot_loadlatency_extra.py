@@ -1,0 +1,72 @@
+"""Additional ssplot coverage: emit paths and edge cases."""
+
+import math
+
+import pytest
+
+from repro.stats.latency import LatencyDistribution
+from repro.tools.ssplot import (
+    LoadLatencyPlot,
+    PlotData,
+    latency_pdf,
+    latency_vs_time,
+)
+
+
+def test_plotdata_multiple_series_legend():
+    plot = PlotData("multi", "x", "y")
+    plot.add("alpha", [0, 1], [0, 1])
+    plot.add("beta", [0, 1], [1, 0])
+    text = plot.render_ascii(width=20, height=8)
+    assert "o=alpha" in text
+    assert "x=beta" in text
+
+
+def test_plotdata_single_point():
+    plot = PlotData("point", "x", "y")
+    plot.add("s", [5], [7])
+    text = plot.render_ascii(width=10, height=4)
+    assert "o" in text
+
+
+def test_plotdata_constant_series():
+    # Zero y-span must not divide by zero.
+    plot = PlotData("flat", "x", "y")
+    plot.add("s", [0, 1, 2], [3, 3, 3])
+    assert "flat" in plot.render_ascii(width=12, height=4)
+
+
+def test_loadlatency_all_saturated():
+    plot = LoadLatencyPlot()
+    plot.add_point(0.5, LatencyDistribution([10]), saturated=True)
+    data = plot.build()
+    assert data.series == []
+    assert plot.saturation_load() == 0.5
+
+
+def test_loadlatency_empty_distribution_skipped():
+    plot = LoadLatencyPlot()
+    plot.add_point(0.1, LatencyDistribution([]))
+    plot.add_point(0.2, LatencyDistribution([5, 6]))
+    data = plot.build()
+    mean = data.series[0]
+    assert list(mean.x) == [0.2]
+
+
+def test_latency_pdf_empty():
+    plot = latency_pdf(LatencyDistribution([]))
+    assert len(plot.series[0]) == 0
+
+
+def test_latency_vs_time_empty():
+    plot = latency_vs_time([], bin_ticks=10)
+    assert len(plot.series[0]) == 0
+
+
+def test_csv_header_uses_labels(tmp_path):
+    plot = PlotData("t", "load (flits/cycle)", "latency (ns)")
+    plot.add("mean", [0.1], [42])
+    path = tmp_path / "out.csv"
+    plot.write_csv(str(path))
+    header = path.read_text().splitlines()[1]
+    assert header == "series,load (flits/cycle),latency (ns)"

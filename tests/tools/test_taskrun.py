@@ -1,0 +1,216 @@
+"""taskrun: dependency ordering, resources, conditions, failures."""
+
+import threading
+import time
+
+import pytest
+
+from repro.tools.taskrun import (
+    FunctionTask,
+    ProcessTask,
+    ResourceManager,
+    Task,
+    TaskError,
+    TaskManager,
+    TaskState,
+)
+
+
+def test_dependency_order():
+    order = []
+    manager = TaskManager()
+    a = manager.add_task(FunctionTask("a", lambda: order.append("a")))
+    b = manager.add_task(FunctionTask("b", lambda: order.append("b")))
+    c = manager.add_task(FunctionTask("c", lambda: order.append("c")))
+    c.depends_on(b)
+    b.depends_on(a)
+    states = manager.run()
+    assert order == ["a", "b", "c"]
+    assert all(s == TaskState.SUCCEEDED for s in states.values())
+
+
+def test_diamond_dependencies():
+    order = []
+    manager = TaskManager()
+    top = manager.add_task(FunctionTask("top", lambda: order.append("top")))
+    left = manager.add_task(FunctionTask("left", lambda: order.append("left")))
+    right = manager.add_task(FunctionTask("right", lambda: order.append("right")))
+    bottom = manager.add_task(FunctionTask("bottom", lambda: order.append("bottom")))
+    left.depends_on(top)
+    right.depends_on(top)
+    bottom.depends_on(left, right)
+    manager.run()
+    assert order[0] == "top"
+    assert order[-1] == "bottom"
+    assert set(order[1:3]) == {"left", "right"}
+
+
+def test_results_propagate():
+    manager = TaskManager()
+    task = manager.add_task(FunctionTask("compute", lambda x: x * 2, args=(21,)))
+    manager.run()
+    assert task.result == 42
+
+
+def test_failure_cancels_dependents_but_not_siblings():
+    ran = []
+    manager = TaskManager()
+
+    def boom():
+        raise RuntimeError("nope")
+
+    failing = manager.add_task(FunctionTask("failing", boom))
+    child = manager.add_task(FunctionTask("child", lambda: ran.append("child")))
+    grandchild = manager.add_task(
+        FunctionTask("grandchild", lambda: ran.append("grandchild"))
+    )
+    independent = manager.add_task(
+        FunctionTask("independent", lambda: ran.append("independent"))
+    )
+    child.depends_on(failing)
+    grandchild.depends_on(child)
+    states = manager.run()
+    assert states["failing"] == TaskState.FAILED
+    assert states["child"] == TaskState.CANCELLED
+    assert states["grandchild"] == TaskState.CANCELLED
+    assert states["independent"] == TaskState.SUCCEEDED
+    assert ran == ["independent"]
+    assert not manager.succeeded()
+    assert [t.name for t in manager.failures()] == ["failing"]
+
+
+def test_condition_skips_task_but_runs_dependents():
+    ran = []
+    manager = TaskManager()
+    skipped = manager.add_task(
+        FunctionTask("skipped", lambda: ran.append("skipped"),
+                     condition=lambda: False)
+    )
+    dependent = manager.add_task(
+        FunctionTask("dependent", lambda: ran.append("dependent"))
+    )
+    dependent.depends_on(skipped)
+    states = manager.run()
+    assert states["skipped"] == TaskState.SKIPPED
+    assert states["dependent"] == TaskState.SUCCEEDED
+    assert ran == ["dependent"]
+    assert manager.succeeded()
+
+
+def test_condition_true_runs():
+    ran = []
+    manager = TaskManager()
+    manager.add_task(
+        FunctionTask("maybe", lambda: ran.append("maybe"),
+                     condition=lambda: True)
+    )
+    manager.run()
+    assert ran == ["maybe"]
+
+
+def test_cycle_detected():
+    manager = TaskManager()
+    a = manager.add_task(FunctionTask("a", lambda: None))
+    b = manager.add_task(FunctionTask("b", lambda: None))
+    a.depends_on(b)
+    b.depends_on(a)
+    with pytest.raises(TaskError):
+        manager.run()
+
+
+def test_self_dependency_rejected():
+    task = FunctionTask("a", lambda: None)
+    with pytest.raises(TaskError):
+        task.depends_on(task)
+
+
+def test_unknown_dependency_rejected():
+    manager = TaskManager()
+    a = manager.add_task(FunctionTask("a", lambda: None))
+    ghost = FunctionTask("ghost", lambda: None)
+    a.depends_on(ghost)
+    with pytest.raises(TaskError):
+        manager.run()
+
+
+def test_resource_limits_concurrency():
+    active = []
+    peak = []
+    lock = threading.Lock()
+
+    def work():
+        with lock:
+            active.append(1)
+            peak.append(len(active))
+        time.sleep(0.02)
+        with lock:
+            active.pop()
+
+    manager = TaskManager(resources={"cpus": 2}, num_workers=4)
+    for i in range(6):
+        manager.add_task(
+            FunctionTask(f"t{i}", work, resources={"cpus": 1})
+        )
+    manager.run()
+    assert max(peak) <= 2
+
+
+def test_impossible_demand_rejected_at_add():
+    manager = TaskManager(resources={"mem": 4})
+    with pytest.raises(TaskError):
+        manager.add_task(FunctionTask("big", lambda: None,
+                                      resources={"mem": 8}))
+
+
+def test_resource_manager_accounting():
+    rm = ResourceManager({"gpu": 2})
+    task = FunctionTask("t", lambda: None, resources={"gpu": 2})
+    assert rm.try_acquire(task)
+    assert rm.available("gpu") == 0
+    assert not rm.try_acquire(task)
+    rm.release(task)
+    assert rm.available("gpu") == 2
+
+
+def test_process_task(tmp_path):
+    marker = tmp_path / "out.txt"
+    manager = TaskManager()
+    task = manager.add_task(
+        ProcessTask("touch", ["python", "-c",
+                              f"open(r'{marker}', 'w').write('hi')"])
+    )
+    manager.run()
+    assert task.state == TaskState.SUCCEEDED
+    assert marker.read_text() == "hi"
+
+
+def test_process_task_failure():
+    manager = TaskManager()
+    task = manager.add_task(
+        ProcessTask("fail", ["python", "-c", "raise SystemExit(3)"])
+    )
+    manager.run()
+    assert task.state == TaskState.FAILED
+
+
+def test_observer_sees_every_terminal_state():
+    seen = []
+    manager = TaskManager(observer=lambda t: seen.append((t.name, t.state)))
+    manager.add_task(FunctionTask("ok", lambda: None))
+    bad = manager.add_task(FunctionTask("bad", lambda: 1 / 0))
+    child = manager.add_task(FunctionTask("child", lambda: None))
+    child.depends_on(bad)
+    manager.run()
+    names = {name for name, _state in seen}
+    assert names == {"ok", "bad", "child"}
+
+
+def test_empty_graph():
+    assert TaskManager().run() == {}
+
+
+def test_invalid_construction():
+    with pytest.raises(TaskError):
+        FunctionTask("", lambda: None)
+    with pytest.raises(TaskError):
+        TaskManager(num_workers=0)

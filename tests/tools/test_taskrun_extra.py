@@ -1,0 +1,82 @@
+"""Additional taskrun coverage: parallel workers, skipped chains."""
+
+import threading
+import time
+
+from repro.tools.taskrun import FunctionTask, TaskManager, TaskState
+
+
+def test_parallel_workers_actually_overlap():
+    barrier = threading.Barrier(2, timeout=5)
+
+    def rendezvous():
+        barrier.wait()  # deadlocks unless two tasks run concurrently
+
+    manager = TaskManager(num_workers=2)
+    manager.add_task(FunctionTask("a", rendezvous))
+    manager.add_task(FunctionTask("b", rendezvous))
+    states = manager.run()
+    assert all(s == TaskState.SUCCEEDED for s in states.values())
+
+
+def test_skip_chain_propagates_execution():
+    """A chain of skipped tasks still unblocks the final runnable one."""
+    ran = []
+    manager = TaskManager()
+    first = manager.add_task(
+        FunctionTask("first", lambda: ran.append("first"),
+                     condition=lambda: False))
+    second = manager.add_task(
+        FunctionTask("second", lambda: ran.append("second"),
+                     condition=lambda: False))
+    final = manager.add_task(FunctionTask("final", lambda: ran.append("final")))
+    second.depends_on(first)
+    final.depends_on(second)
+    states = manager.run()
+    assert ran == ["final"]
+    assert states["first"] == TaskState.SKIPPED
+    assert states["second"] == TaskState.SKIPPED
+    assert states["final"] == TaskState.SUCCEEDED
+
+
+def test_condition_evaluated_after_dependencies():
+    """Conditions see the state produced by their dependencies (the
+    incremental-build idiom: 'skip if the output already exists')."""
+    artifacts = set()
+    manager = TaskManager()
+    producer = manager.add_task(
+        FunctionTask("producer", lambda: artifacts.add("out")))
+    consumer = manager.add_task(
+        FunctionTask("consumer", lambda: artifacts.add("bad"),
+                     condition=lambda: "out" not in artifacts))
+    consumer.depends_on(producer)
+    states = manager.run()
+    assert states["consumer"] == TaskState.SKIPPED
+    assert artifacts == {"out"}
+
+
+def test_many_tasks_with_shared_resource_all_complete():
+    counter = {"n": 0}
+    lock = threading.Lock()
+
+    def bump():
+        with lock:
+            counter["n"] += 1
+
+    manager = TaskManager(resources={"slot": 3}, num_workers=4)
+    for i in range(20):
+        manager.add_task(FunctionTask(f"t{i}", bump, resources={"slot": 1}))
+    states = manager.run()
+    assert counter["n"] == 20
+    assert all(s == TaskState.SUCCEEDED for s in states.values())
+
+
+def test_result_and_error_fields():
+    manager = TaskManager()
+    good = manager.add_task(FunctionTask("good", lambda: "value"))
+    bad = manager.add_task(FunctionTask("bad", lambda: 1 / 0))
+    manager.run()
+    assert good.result == "value"
+    assert good.error is None
+    assert bad.result is None
+    assert isinstance(bad.error, ZeroDivisionError)

@@ -1,0 +1,123 @@
+"""Dragonfly: local cliques, global channel arrangement."""
+
+import pytest
+
+from repro import Settings, factory, models
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+
+
+def build_dragonfly(group_size=4, global_links=1, concentration=1,
+                    num_groups=None, num_vcs=3, routing="dragonfly_minimal"):
+    models.load_all()
+    config = {
+        "topology": "dragonfly",
+        "group_size": group_size,
+        "global_links": global_links,
+        "concentration": concentration,
+        "num_vcs": num_vcs,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": routing},
+    }
+    if num_groups is not None:
+        config["num_groups"] = num_groups
+    settings = Settings.from_dict(config)
+    sim = Simulator()
+    return factory.create(Network, "dragonfly", sim, "network", None,
+                          settings, RandomManager(1))
+
+
+def test_balanced_counts():
+    # a=4, h=1 -> g = 4*1 + 1 = 5 groups, 20 routers.
+    network = build_dragonfly(group_size=4, global_links=1)
+    assert network.num_groups == 5
+    assert network.num_routers == 20
+    assert network.num_terminals == 20
+
+
+def test_local_cliques():
+    network = build_dragonfly(group_size=4, global_links=1)
+    for group in range(network.num_groups):
+        for i in range(4):
+            router = network.routers[group * 4 + i]
+            for j in range(4):
+                if i == j:
+                    continue
+                channel = router.output_channel(network.local_port(i, j))
+                assert channel.sink is network.routers[group * 4 + j]
+
+
+def test_every_group_pair_has_one_global_channel():
+    network = build_dragonfly(group_size=4, global_links=1)
+    pairs = set()
+    for router in network.routers:
+        group, local = router.address
+        port = network.global_port(0)
+        if not router.port_is_wired(port):
+            continue
+        peer = router.output_channel(port).sink
+        peer_group = peer.address[0]
+        assert peer_group != group
+        pairs.add(frozenset((group, peer_group)))
+    expected = {
+        frozenset((a, b))
+        for a in range(5)
+        for b in range(a + 1, 5)
+    }
+    assert pairs == expected
+
+
+def test_global_route_is_symmetric_on_the_same_channel():
+    network = build_dragonfly(group_size=4, global_links=1)
+    src_local, src_port = network.global_route(0, 3)
+    src_router = network.routers[0 * 4 + src_local]
+    channel = src_router.output_channel(src_port)
+    dst_router = channel.sink
+    assert dst_router.address[0] == 3
+    entry_local, entry_port = network.global_route(3, 0)
+    assert dst_router is network.routers[3 * 4 + entry_local]
+    assert channel.sink_port == entry_port
+
+
+def test_global_latency_override():
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "dragonfly",
+        "group_size": 2,
+        "global_links": 1,
+        "concentration": 1,
+        "num_vcs": 3,
+        "channel_latency": 1,
+        "global_latency": 9,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": "dragonfly_minimal"},
+    })
+    sim = Simulator()
+    network = factory.create(Network, "dragonfly", sim, "network", None,
+                             settings, RandomManager(1))
+    router = network.routers[0]
+    port = network.global_port(0)
+    if router.port_is_wired(port):
+        assert router.output_channel(port).latency == 9
+
+
+def test_minimal_hops():
+    network = build_dragonfly(group_size=4, global_links=1)
+    # Same router.
+    assert network.minimal_hops(0, 0) == 0
+    # Same group, different router.
+    assert network.minimal_hops(0, 1) == 1
+    # Different groups: at most l-g-l.
+    for dst in range(4, 20):
+        assert 1 <= network.minimal_hops(0, dst) <= 3
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        build_dragonfly(group_size=1)
+    with pytest.raises(ValueError):
+        build_dragonfly(group_size=4, global_links=1, num_groups=7)

@@ -1,0 +1,104 @@
+"""Folded-Clos (k-ary n-tree): wiring rule, ancestry, digits."""
+
+import pytest
+
+from repro import Settings, factory, models
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+
+
+def build_clos(half_radix=4, num_levels=2, routing="clos_adaptive"):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "folded_clos",
+        "half_radix": half_radix,
+        "num_levels": num_levels,
+        "num_vcs": 1,
+        "channel_latency": 1,
+        "router": {"architecture": "output_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": routing},
+    })
+    sim = Simulator()
+    return factory.create(Network, "folded_clos", sim, "network", None,
+                          settings, RandomManager(1))
+
+
+def test_counts():
+    network = build_clos(half_radix=4, num_levels=3)
+    assert network.num_terminals == 64
+    assert network.num_routers == 3 * 16
+
+
+def test_top_level_routers_have_half_ports():
+    network = build_clos(half_radix=4, num_levels=2)
+    leaf = network.router_at(0, 0)
+    top = network.router_at(1, 0)
+    assert leaf.num_ports == 8
+    assert top.num_ports == 4
+
+
+def test_terminals_attach_to_leaves():
+    network = build_clos(half_radix=4, num_levels=2)
+    for tid in range(network.num_terminals):
+        interface = network.interface(tid)
+        leaf = interface.output_channel(0).sink
+        assert leaf is network.router_at(0, tid // 4)
+        assert interface.output_channel(0).sink_port == tid % 4
+
+
+def test_k_ary_n_tree_wiring_rule():
+    """Up port u of router (l, w) lands on (l+1, w[l->u]) down port w[l]."""
+    k = 4
+    network = build_clos(half_radix=k, num_levels=3)
+    for level in range(2):
+        for index in range(16):
+            router = network.router_at(level, index)
+            digits = network.router_digits(index)
+            for up_port in range(k):
+                channel = router.output_channel(k + up_port)
+                upper = channel.sink
+                expected_digits = list(digits)
+                expected_digits[level] = up_port
+                assert upper is network.router_at(
+                    level + 1, network.digits_to_index(expected_digits)
+                )
+                assert channel.sink_port == digits[level]
+
+
+def test_digit_round_trip():
+    network = build_clos(half_radix=4, num_levels=3)
+    for index in (0, 5, 15):
+        digits = network.router_digits(index)
+        assert network.digits_to_index(digits) == index
+
+
+def test_is_ancestor():
+    network = build_clos(half_radix=2, num_levels=3)  # 8 terminals
+    # Terminal 5 = digits (1, 0, 1): leaf router index 2 (digits 1,0...).
+    # Its leaf router (level 0) must be an ancestor.
+    assert network.is_ancestor(0, 5 // 2, 5)
+    # Every top-level router is an ancestor of every terminal.
+    for index in range(4):
+        for tid in range(8):
+            assert network.is_ancestor(2, index, tid)
+    # A different leaf router is not an ancestor.
+    assert not network.is_ancestor(0, 0, 5)
+
+
+def test_ancestor_level_and_minimal_hops():
+    network = build_clos(half_radix=2, num_levels=3)
+    # Same leaf router (terminals 0 and 1): no router-router hops.
+    assert network.ancestor_level(0, 1) == 0
+    assert network.minimal_hops(0, 1) == 0
+    # Top digit differs: must reach the top level.
+    assert network.ancestor_level(0, 7) == 2
+    assert network.minimal_hops(0, 7) == 4
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        build_clos(half_radix=1)
+    with pytest.raises(ValueError):
+        build_clos(num_levels=1)

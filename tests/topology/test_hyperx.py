@@ -1,0 +1,83 @@
+"""HyperX / flattened butterfly: clique wiring, port math."""
+
+import pytest
+
+from repro import Settings, factory, models
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+
+
+def build_hyperx(widths, concentration=1, num_vcs=2,
+                 routing="hyperx_dimension_order"):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "hyperx",
+        "dimension_widths": widths,
+        "concentration": concentration,
+        "num_vcs": num_vcs,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": routing},
+    })
+    sim = Simulator()
+    return factory.create(Network, "hyperx", sim, "network", None, settings,
+                          RandomManager(1))
+
+
+def test_1d_is_a_clique():
+    network = build_hyperx([5])
+    for router in network.routers:
+        (own,) = router.address
+        for other in range(5):
+            if other == own:
+                continue
+            port = network.port_for(0, own, other)
+            channel = router.output_channel(port)
+            assert channel.sink.address == (other,)
+            # The far end's port back to us.
+            assert channel.sink_port == network.port_for(0, other, own)
+
+
+def test_port_count():
+    # Radix = concentration + sum(width - 1): Table I's 63-port router
+    # comes from [32] widths + 32 concentration.
+    network = build_hyperx([4, 3], concentration=2)
+    assert network.routers[0].num_ports == 2 + 3 + 2
+
+
+def test_flattened_butterfly_paper_config_shape():
+    """The scaled case-study-B configuration: every port wired."""
+    network = build_hyperx([8], concentration=4)
+    assert network.num_terminals == 32
+    assert network.num_routers == 8
+    assert network.routers[0].num_ports == 4 + 7
+    for router in network.routers:
+        for port in range(router.num_ports):
+            assert router.port_is_wired(port)
+
+
+def test_port_for_self_rejected():
+    network = build_hyperx([4])
+    with pytest.raises(ValueError):
+        network.port_for(0, 2, 2)
+
+
+def test_minimal_hops_is_hamming_distance():
+    network = build_hyperx([4, 4])
+    # routers (0,0) and (3,2): both dims differ -> 2 hops.
+    dst_router = 3 + 2 * 4
+    assert network.minimal_hops(0, dst_router) == 2
+    # same row: 1 hop.
+    assert network.minimal_hops(0, 2) == 1
+    assert network.minimal_hops(0, 0) == 0
+
+
+def test_2d_cross_dimension_wiring():
+    network = build_hyperx([3, 3])
+    router = network.routers[4]  # coords (1, 1)
+    assert router.address == (1, 1)
+    # Dimension 1 neighbor (1, 2) has flat index 1 + 2*3 = 7.
+    port = network.port_for(1, 1, 2)
+    assert router.output_channel(port).sink is network.routers[7]

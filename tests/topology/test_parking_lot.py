@@ -1,0 +1,52 @@
+"""Parking-lot chain topology."""
+
+import pytest
+
+from repro import Settings, factory, models
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+
+
+def build_chain(length=4, concentration=1):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "parking_lot",
+        "length": length,
+        "concentration": concentration,
+        "num_vcs": 1,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": "chain"},
+    })
+    sim = Simulator()
+    return factory.create(Network, "parking_lot", sim, "network", None,
+                          settings, RandomManager(1))
+
+
+def test_counts_and_wiring():
+    network = build_chain(length=5)
+    assert network.num_routers == 5
+    assert network.num_terminals == 5
+    for i in range(4):
+        channel = network.routers[i].output_channel(network.up_port)
+        assert channel.sink is network.routers[i + 1]
+        assert channel.sink_port == network.down_port
+
+
+def test_end_routers_have_unwired_chain_port():
+    network = build_chain(length=3)
+    assert not network.routers[0].port_is_wired(network.down_port)
+    assert not network.routers[2].port_is_wired(network.up_port)
+
+
+def test_minimal_hops():
+    network = build_chain(length=6)
+    assert network.minimal_hops(5, 0) == 5
+    assert network.minimal_hops(2, 2) == 0
+
+
+def test_minimum_length():
+    with pytest.raises(ValueError):
+        build_chain(length=1)

@@ -1,0 +1,106 @@
+"""Torus topology: wiring, coordinates, minimal hops."""
+
+import pytest
+
+from repro import Settings
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro import factory, models
+from repro.net.network import Network, NetworkError
+
+
+def build_torus(widths, concentration=1, num_vcs=2,
+                routing="torus_dimension_order"):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "torus",
+        "dimension_widths": widths,
+        "concentration": concentration,
+        "num_vcs": num_vcs,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": routing},
+    })
+    sim = Simulator()
+    return factory.create(Network, "torus", sim, "network", None, settings,
+                          RandomManager(1))
+
+
+def test_router_and_terminal_counts():
+    network = build_torus([4, 4], concentration=2)
+    assert network.num_routers == 16
+    assert network.num_terminals == 32
+
+
+def test_router_addresses_cover_grid():
+    network = build_torus([3, 2])
+    addresses = {r.address for r in network.routers}
+    assert addresses == {(x, y) for x in range(3) for y in range(2)}
+
+
+def test_all_ports_wired():
+    network = build_torus([4, 4], concentration=1)
+    for router in network.routers:
+        for port in range(router.num_ports):
+            assert router.port_is_wired(port)
+
+
+def test_ring_wiring_is_consistent():
+    """The +port of each router leads to the coordinate+1 router, whose
+    -port leads back."""
+    network = build_torus([4])
+    for router in network.routers:
+        (x,) = router.address
+        plus_port = network.port_for(0, +1)
+        channel = router.output_channel(plus_port)
+        neighbor = channel.sink
+        assert neighbor.address == (((x + 1) % 4),)
+        assert channel.sink_port == network.port_for(0, -1)
+        # And the reverse direction comes back to us.
+        back = neighbor.output_channel(network.port_for(0, -1))
+        assert back.sink is router
+
+
+def test_terminal_attachment():
+    network = build_torus([2, 2], concentration=2)
+    assert network.terminal_router(5) == 2
+    assert network.terminal_port(5) == 1
+    interface = network.interface(5)
+    assert interface.output_channel(0).sink is network.routers[2]
+
+
+def test_minimal_hops_wraps_around():
+    network = build_torus([8])
+    # 0 -> 7 is one hop backwards around the ring, not 7 forward.
+    assert network.minimal_hops(0, 7) == 1
+    assert network.minimal_hops(0, 4) == 4
+    assert network.minimal_hops(0, 3) == 3
+
+
+def test_minimal_hops_multi_dimension():
+    network = build_torus([4, 4])
+    # (0,0) to (2,3): 2 hops in dim 0, 1 hop (wrap) in dim 1.
+    dst = 2 + 3 * 4
+    assert network.minimal_hops(0, dst) == 3
+
+
+def test_incompatible_routing_rejected():
+    with pytest.raises(NetworkError):
+        build_torus([4, 4], routing="chain")
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        build_torus([1, 4])
+    with pytest.raises(ValueError):
+        build_torus([])
+
+
+def test_channel_count():
+    """A k-ary n-cube has n * product(widths) bidirectional router links
+    plus one per terminal; each bidirectional link is 4 channels (2 flit
+    + 2 credit), registered as 2 link indices per wire() call."""
+    network = build_torus([4, 4], concentration=1)
+    # 2 dims * 16 routers = 32 router-router links + 16 terminal links.
+    assert network._link_count == 48

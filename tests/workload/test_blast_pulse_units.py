@@ -1,0 +1,87 @@
+"""Unit-level behaviours of the Blast and Pulse applications."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+class TestBlast:
+    def test_zero_rate_blast_is_immediately_done(self):
+        """A Blast with no traffic walks the whole handshake instantly."""
+        config = small_torus_config(injection_rate=0.0)
+        _sim, results = run_config(config)
+        assert results.drained
+        assert results.workload.kill_tick is not None
+        assert len(results.records(sampled_only=False)) == 0
+
+    def test_generate_duration_zero_completes_immediately(self):
+        config = small_torus_config(generate_duration=0)
+        config["workload"]["applications"].append({
+            "type": "pulse",
+            "injection_rate": 0.3,
+            "delay": 100,
+            "duration": 300,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 2},
+        })
+        _sim, results = run_config(config)
+        # The window is then defined by Pulse's Complete.
+        assert results.drained
+        assert results.workload.window_ticks() >= 400
+
+    def test_warmup_traffic_is_unsampled(self):
+        config = small_torus_config(warmup_duration=800)
+        _sim, results = run_config(config)
+        start = results.workload.start_tick
+        unsampled_before = [
+            r for r in results.records(sampled_only=False)
+            if r.created_tick < start
+        ]
+        assert unsampled_before
+        assert not any(r.sampled for r in unsampled_before)
+
+    def test_counters_consistent(self):
+        _sim, results = run_config(small_torus_config())
+        app = results.workload.applications[0]
+        assert app.messages_delivered == app.messages_created
+        assert app.sampled_created <= app.messages_created
+        assert app.flits_created >= app.messages_created  # 4-flit messages
+
+
+class TestPulse:
+    def _config(self, **pulse_overrides):
+        config = small_torus_config(generate_duration=3000)
+        pulse = {
+            "type": "pulse",
+            "injection_rate": 0.5,
+            "delay": 500,
+            "duration": 400,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 2},
+        }
+        pulse.update(pulse_overrides)
+        config["workload"]["applications"].append(pulse)
+        return config
+
+    def test_pulse_restricted_to_first_terminals(self):
+        _sim, results = run_config(self._config(num_terminals=4))
+        sources = {r.source for r in results.records(application_id=1,
+                                                     sampled_only=False)}
+        assert sources <= {0, 1, 2, 3}
+
+    def test_pulse_terminal_count_validated(self):
+        config = self._config(num_terminals=999)
+        with pytest.raises(Exception):
+            Simulation(Settings.from_dict(config))
+
+    def test_zero_rate_pulse_completes(self):
+        _sim, results = run_config(self._config(injection_rate=0.0))
+        assert results.drained
+        assert not results.records(application_id=1, sampled_only=False)
+
+    def test_pulse_messages_counted_per_app(self):
+        _sim, results = run_config(self._config())
+        pulse_app = results.workload.applications[1]
+        assert pulse_app.messages_created > 0
+        assert pulse_app.messages_delivered == pulse_app.messages_created

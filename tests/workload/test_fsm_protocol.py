@@ -1,0 +1,94 @@
+"""Handshake protocol enforcement in the Workload FSM."""
+
+import pytest
+
+from repro import Settings, Simulation
+from repro.workload.workload import Phase, WorkloadError
+from tests.conftest import run_config, small_torus_config
+
+
+def build(config):
+    return Simulation(Settings.from_dict(config))
+
+
+def test_double_ready_rejected():
+    simulation = build(small_torus_config())
+    workload = simulation.workload
+    app = workload.applications[0]
+
+    def double_ready(event):
+        workload.application_ready(app)
+        with pytest.raises(WorkloadError):
+            workload.application_ready(app)
+
+    # Intercept before the app's own Ready by driving the protocol by
+    # hand on a fresh workload: easiest is to call at tick 0 epsilon 0.
+    simulation.simulator.call_at(0, double_ready, epsilon=0)
+    with pytest.raises(WorkloadError):
+        simulation.run(max_time=1000)
+
+
+def test_complete_during_warming_rejected():
+    simulation = build(small_torus_config())
+    workload = simulation.workload
+    app = workload.applications[0]
+
+    def early_complete(event):
+        with pytest.raises(WorkloadError):
+            workload.application_complete(app)
+
+    simulation.simulator.call_at(0, early_complete, epsilon=0)
+    simulation.run(max_time=2000)
+
+
+def test_done_during_generating_rejected():
+    simulation = build(small_torus_config(warmup_duration=0))
+    workload = simulation.workload
+    app = workload.applications[0]
+    seen = {}
+
+    def probe(event):
+        seen["phase"] = workload.phase
+        if workload.phase == Phase.GENERATING:
+            with pytest.raises(WorkloadError):
+                workload.application_done(app)
+
+    simulation.simulator.call_at(50, probe)
+    simulation.run(max_time=100_000)
+    assert seen["phase"] in (Phase.GENERATING, Phase.FINISHING,
+                             Phase.DRAINING)
+
+
+def test_phase_progression_order():
+    simulation = build(small_torus_config())
+    workload = simulation.workload
+    observed = []
+
+    def sample(event):
+        observed.append(workload.phase)
+        if workload.phase != Phase.DRAINING:
+            simulation.simulator.call_at(
+                simulation.simulator.tick + 100, sample)
+
+    simulation.simulator.call_at(1, sample)
+    simulation.run(max_time=200_000)
+    # Phases never move backwards.
+    order = [Phase.WARMING, Phase.GENERATING, Phase.FINISHING,
+             Phase.DRAINING]
+    indices = [order.index(p) for p in observed]
+    assert indices == sorted(indices)
+    assert observed[-1] == Phase.DRAINING
+
+
+def test_empty_application_list_rejected():
+    config = small_torus_config()
+    config["workload"]["applications"] = []
+    with pytest.raises(Exception):
+        build(config)
+
+
+def test_unknown_application_type_rejected():
+    config = small_torus_config()
+    config["workload"]["applications"][0]["type"] = "fuzzer"
+    with pytest.raises(Exception):
+        build(config)

@@ -1,0 +1,93 @@
+"""The RequestReply application: transactions round-trip correctly."""
+
+import pytest
+
+from repro.tools.ssparse import parse_records
+from tests.conftest import run_config
+
+
+def request_reply_config(rate=0.1, response_size=None):
+    app = {
+        "type": "request_reply",
+        "injection_rate": rate,
+        "warmup_duration": 300,
+        "generate_duration": 1500,
+        "traffic": {"type": "uniform_random"},
+        "message_size": {"type": "constant", "size": 2},
+    }
+    if response_size is not None:
+        app["response_size"] = response_size
+    return {
+        "simulator": {"seed": 31},
+        "network": {
+            "topology": "torus",
+            "dimension_widths": [4, 4],
+            "concentration": 1,
+            "num_vcs": 2,
+            "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_queue_depth": 16, "core_latency": 2},
+            "interface": {"max_packet_size": 8},
+            "routing": {"algorithm": "torus_dimension_order"},
+        },
+        "workload": {"applications": [app]},
+    }
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_config(request_reply_config())
+
+
+def test_drains_and_closes_all_sampled_transactions(run):
+    simulation, results = run
+    assert results.drained
+    app = results.workload.applications[0]
+    assert app.sampled_transactions_opened > 50
+    assert app.sampled_transactions_closed == app.sampled_transactions_opened
+
+
+def test_every_request_gets_exactly_one_response(run):
+    simulation, results = run
+    records = results.records(sampled_only=False)
+    by_txn = {}
+    for record in records:
+        by_txn.setdefault(record.transaction_id, []).append(record)
+    complete = [msgs for msgs in by_txn.values() if len(msgs) == 2]
+    # Most transactions complete (a few may be cut at the kill edge).
+    assert len(complete) > 0.9 * len(by_txn)
+    for pair in complete:
+        first, second = sorted(pair, key=lambda r: r.created_tick)
+        # The response returns to the request's source.
+        assert second.source == first.destination
+        assert second.destination == first.source
+
+
+def test_transaction_latency_exceeds_both_message_latencies(run):
+    simulation, results = run
+    app = results.workload.applications[0]
+    latencies = app.sampled_transaction_latencies()
+    assert latencies
+    mean_txn = sum(latencies) / len(latencies)
+    mean_msg = results.latency().mean()
+    # Round trip >= ~2x the one-way message latency.
+    assert mean_txn > 1.5 * mean_msg
+
+
+def test_response_size_setting():
+    _sim, results = run_config(request_reply_config(response_size=6))
+    responses = [
+        r for r in results.records(sampled_only=False) if r.num_flits == 6
+    ]
+    assert responses
+
+
+def test_ssparse_transaction_aggregation(run):
+    simulation, results = run
+    parsed = parse_records(results.records(sampled_only=False))
+    txn_latency = parsed.transaction_latencies()
+    assert parsed.transaction_count() < len(parsed.records)
+    assert txn_latency.mean() > parsed.latency("message").mean()
+    summary = parsed.summary()
+    assert summary["transactions"] == parsed.transaction_count()
+    assert summary["transaction_latency"] is not None

@@ -1,0 +1,165 @@
+"""Traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro import Settings, factory, models
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.net.network import Network
+from repro.workload.traffic import TrafficError, create_traffic_pattern
+
+
+def make_pattern(kind, num_terminals=16, network=None, seed=0, **extra):
+    models.load_all()
+    settings = Settings.from_dict({"type": kind, **extra})
+    rng = np.random.default_rng(seed)
+    return create_traffic_pattern(settings, num_terminals, network, rng)
+
+
+def torus_network(widths, concentration=1):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "torus",
+        "dimension_widths": widths,
+        "concentration": concentration,
+        "num_vcs": 2,
+        "channel_latency": 1,
+        "router": {"architecture": "input_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": "torus_dimension_order"},
+    })
+    return factory.create(Network, "torus", Simulator(), "network", None,
+                          settings, RandomManager(1))
+
+
+def clos_network(half_radix=2, num_levels=3):
+    models.load_all()
+    settings = Settings.from_dict({
+        "topology": "folded_clos",
+        "half_radix": half_radix,
+        "num_levels": num_levels,
+        "num_vcs": 1,
+        "channel_latency": 1,
+        "router": {"architecture": "output_queued", "input_queue_depth": 4},
+        "interface": {},
+        "routing": {"algorithm": "clos_adaptive"},
+    })
+    return factory.create(Network, "folded_clos", Simulator(), "network",
+                          None, settings, RandomManager(1))
+
+
+class TestUniformRandom:
+    def test_excludes_self_by_default(self):
+        pattern = make_pattern("uniform_random")
+        for _ in range(500):
+            assert pattern.destination(3) != 3
+
+    def test_covers_all_other_terminals(self):
+        pattern = make_pattern("uniform_random", num_terminals=8)
+        seen = {pattern.destination(0) for _ in range(500)}
+        assert seen == set(range(1, 8))
+
+    def test_allow_self(self):
+        pattern = make_pattern("uniform_random", allow_self=True)
+        seen = {pattern.destination(3) for _ in range(800)}
+        assert 3 in seen
+
+    def test_roughly_uniform(self):
+        pattern = make_pattern("uniform_random", num_terminals=4)
+        counts = {1: 0, 2: 0, 3: 0}
+        trials = 3000
+        for _ in range(trials):
+            counts[pattern.destination(0)] += 1
+        for count in counts.values():
+            assert abs(count - trials / 3) < trials * 0.06
+
+    def test_source_range_checked(self):
+        pattern = make_pattern("uniform_random")
+        with pytest.raises(TrafficError):
+            pattern.destination(99)
+
+
+class TestDeterministicPatterns:
+    def test_bit_complement(self):
+        pattern = make_pattern("bit_complement", num_terminals=16)
+        assert pattern.destination(0) == 15
+        assert pattern.destination(5) == 10
+        # Involution: applying twice returns the source.
+        for src in range(16):
+            assert pattern.destination(pattern.destination(src)) == src
+
+    def test_transpose(self):
+        pattern = make_pattern("transpose", num_terminals=16)
+        # (row 1, col 2) -> (row 2, col 1): 6 -> 9.
+        assert pattern.destination(6) == 9
+        for src in range(16):
+            assert pattern.destination(pattern.destination(src)) == src
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(TrafficError):
+            make_pattern("transpose", num_terminals=12)
+
+    def test_bit_reverse(self):
+        pattern = make_pattern("bit_reverse", num_terminals=8)
+        assert pattern.destination(1) == 4  # 001 -> 100
+        assert pattern.destination(3) == 6  # 011 -> 110
+
+    def test_bit_reverse_requires_power_of_two(self):
+        with pytest.raises(TrafficError):
+            make_pattern("bit_reverse", num_terminals=12)
+
+    def test_neighbor(self):
+        pattern = make_pattern("neighbor", num_terminals=8, offset=3)
+        assert pattern.destination(0) == 3
+        assert pattern.destination(7) == 2
+
+    def test_all_to_one(self):
+        pattern = make_pattern("all_to_one", num_terminals=8, target=2)
+        assert all(pattern.destination(s) == 2 for s in range(8))
+
+    def test_all_to_one_target_checked(self):
+        with pytest.raises(TrafficError):
+            make_pattern("all_to_one", num_terminals=4, target=9)
+
+
+class TestRandomPermutation:
+    def test_is_a_fixed_permutation(self):
+        pattern = make_pattern("random_permutation", num_terminals=16)
+        mapping = [pattern.destination(s) for s in range(16)]
+        assert sorted(mapping) == list(range(16))
+        # Stable across calls.
+        assert mapping == [pattern.destination(s) for s in range(16)]
+
+
+class TestTornado:
+    def test_moves_half_way_in_each_dimension(self):
+        network = torus_network([8, 8])
+        pattern = make_pattern("tornado", num_terminals=64, network=network)
+        # (0,0) -> (+3, +3) = router 3 + 3*8 = 27.
+        assert pattern.destination(0) == 27
+
+    def test_requires_lattice_network(self):
+        with pytest.raises(TrafficError):
+            make_pattern("tornado", num_terminals=8, network=None)
+
+    def test_preserves_terminal_offset(self):
+        network = torus_network([4, 4], concentration=2)
+        pattern = make_pattern("tornado", num_terminals=32, network=network)
+        assert pattern.destination(1) % 2 == 1
+
+
+class TestUniformToRoot:
+    def test_top_digit_always_differs(self):
+        network = clos_network(half_radix=2, num_levels=3)
+        pattern = make_pattern("uniform_to_root", num_terminals=8,
+                               network=network)
+        subtree = 4  # k^(n-1)
+        for src in range(8):
+            for _ in range(50):
+                dst = pattern.destination(src)
+                assert dst // subtree != src // subtree
+
+    def test_requires_clos(self):
+        with pytest.raises(TrafficError):
+            make_pattern("uniform_to_root", num_terminals=8, network=None)

@@ -1,0 +1,59 @@
+"""Automatic warmup detection in Blast."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+def auto_config(**overrides):
+    config = small_torus_config()
+    app = config["workload"]["applications"][0]
+    app["warmup_mode"] = "auto"
+    app["warmup_duration"] = 5000  # hard cap
+    app["warmup_check_period"] = 200
+    app.update(overrides)
+    return config
+
+
+def test_auto_warmup_reaches_steady_state_then_starts():
+    _sim, results = run_config(auto_config())
+    assert results.drained
+    start = results.workload.start_tick
+    # Detection needs at least two stable check windows...
+    assert start >= 400
+    # ...and must not ride all the way to the cap at this easy load.
+    assert start < 5000
+
+
+def test_auto_warmup_cap_fires_under_drifting_latency():
+    """At saturation latency never stabilizes; the cap must fire."""
+    config = auto_config(injection_rate=0.95, warmup_duration=1500)
+    config["workload"]["applications"][0]["traffic"] = {"type": "tornado"}
+    config["network"]["dimension_widths"] = [8]
+    simulation = Simulation(Settings.from_dict(config))
+    simulation.run(max_time=20_000)
+    start = simulation.workload.start_tick
+    assert start is not None
+    assert start >= 1500  # fired at (or just past) the cap
+
+
+def test_auto_warmup_starts_later_than_zero_fixed():
+    fixed = small_torus_config(warmup_duration=0)
+    _s, fixed_results = run_config(fixed)
+    _s, auto_results = run_config(auto_config())
+    assert auto_results.workload.start_tick > fixed_results.workload.start_tick
+
+
+def test_invalid_warmup_mode_rejected():
+    config = auto_config(warmup_mode="psychic")
+    with pytest.raises(Exception):
+        Simulation(Settings.from_dict(config))
+
+
+def test_auto_mode_with_zero_rate_is_ready_at_cap():
+    """No deliveries ever: detection cannot trigger, the cap must."""
+    config = auto_config(injection_rate=0.0, warmup_duration=600)
+    _sim, results = run_config(config)
+    assert results.drained
+    assert results.workload.start_tick >= 600

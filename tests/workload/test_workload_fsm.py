@@ -1,0 +1,130 @@
+"""The four-phase workload handshake (paper §IV-A, Fig. 4)."""
+
+import pytest
+
+from repro import Settings, Simulation
+from tests.conftest import run_config, small_torus_config
+
+
+def two_app_config():
+    config = small_torus_config()
+    config["workload"]["applications"] = [
+        {
+            "type": "blast",
+            "injection_rate": 0.15,
+            "warmup_duration": 400,
+            "generate_duration": 2000,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 2},
+        },
+        {
+            "type": "pulse",
+            "injection_rate": 0.4,
+            "delay": 300,
+            "duration": 500,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 2},
+        },
+    ]
+    return config
+
+
+def test_single_blast_reaches_draining():
+    _sim, results = run_config(small_torus_config())
+    assert results.drained
+    workload = results.workload
+    assert workload.start_tick is not None
+    assert workload.stop_tick is not None
+    assert workload.kill_tick is not None
+    assert workload.start_tick < workload.stop_tick <= workload.kill_tick
+
+
+def test_warmup_delays_start():
+    config = small_torus_config(warmup_duration=700)
+    _sim, results = run_config(config)
+    assert results.workload.start_tick >= 700
+
+
+def test_sampling_window_matches_generate_duration():
+    config = small_torus_config(generate_duration=1200)
+    _sim, results = run_config(config)
+    assert results.workload.window_ticks() == 1200
+
+
+def test_messages_outside_window_not_sampled():
+    _sim, results = run_config(small_torus_config())
+    workload = results.workload
+    for record in results.records(sampled_only=False):
+        if record.sampled:
+            assert workload.start_tick <= record.created_tick
+            assert record.created_tick <= workload.stop_tick
+
+
+def test_blast_keeps_injecting_through_finishing():
+    """After Stop, Blast stops *flagging* but not *sending* (Fig. 5)."""
+    _sim, results = run_config(small_torus_config())
+    workload = results.workload
+    unsampled_after_stop = [
+        r
+        for r in results.records(sampled_only=False)
+        if not r.sampled and r.created_tick is not None
+        and r.created_tick > workload.stop_tick
+    ]
+    assert unsampled_after_stop, "no traffic generated during finishing"
+
+
+def test_no_traffic_after_kill():
+    _sim, results = run_config(small_torus_config())
+    kill = results.workload.kill_tick
+    for record in results.records(sampled_only=False):
+        assert record.created_tick <= kill
+
+
+def test_two_applications_interoperate():
+    _sim, results = run_config(two_app_config())
+    assert results.drained
+    blast = results.records(application_id=0)
+    pulse = results.records(application_id=1)
+    assert blast and pulse
+
+
+def test_pulse_burst_bounded_by_delay_and_duration():
+    _sim, results = run_config(two_app_config())
+    workload = results.workload
+    pulse_records = results.records(application_id=1, sampled_only=False)
+    start, delay, duration = workload.start_tick, 300, 500
+    for record in pulse_records:
+        assert start + delay <= record.created_tick
+        assert record.created_tick <= start + delay + duration + 1
+
+
+def test_pulse_disturbs_blast_latency():
+    """Fig. 5's headline: Blast latency rises during the Pulse burst."""
+    config = two_app_config()
+    config["workload"]["applications"][1]["injection_rate"] = 0.7
+    config["workload"]["applications"][0]["generate_duration"] = 3000
+    _sim, results = run_config(config)
+    workload = results.workload
+    blast = results.records(application_id=0)
+    burst_lo = workload.start_tick + 300
+    burst_hi = burst_lo + 500
+    during = [r.latency for r in blast
+              if burst_lo <= r.created_tick <= burst_hi]
+    before = [r.latency for r in blast if r.created_tick < burst_lo]
+    assert during and before
+    assert sum(during) / len(during) > 1.2 * (sum(before) / len(before))
+
+
+def test_all_sampled_messages_delivered_when_drained():
+    _sim, results = run_config(two_app_config())
+    assert results.delivered_fraction() == 1.0
+    for app in results.workload.applications:
+        assert app.sampled_delivered == app.sampled_created
+
+
+def test_workload_requires_an_application():
+    from repro import SettingsError
+    config = small_torus_config()
+    config["workload"]["applications"] = []
+    with pytest.raises(Exception):
+        Simulation(Settings.from_dict(config))
