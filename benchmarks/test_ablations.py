@@ -20,6 +20,10 @@ from tests.conftest import run_config, small_torus_config
 
 from .conftest import run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_sensing_delay_is_the_cause(benchmark):

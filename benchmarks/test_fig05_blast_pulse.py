@@ -18,6 +18,10 @@ from repro.tools.ssplot import latency_vs_time
 
 from .conftest import emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 
 def _run():
     simulation = Simulation(Settings.from_dict(blast_pulse_config(

@@ -14,6 +14,10 @@ from tests.conftest import small_torus_config
 
 from .conftest import emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 
 def _run():
     config = small_torus_config()

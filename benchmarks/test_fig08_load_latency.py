@@ -22,6 +22,10 @@ from repro.tools.ssplot import LoadLatencyPlot
 
 from .conftest import emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 

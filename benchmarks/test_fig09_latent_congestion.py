@@ -23,6 +23,10 @@ from repro.tools.ssplot import PlotData
 
 from .conftest import FULL_SCALE, emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 INJECTION_RATE = 0.85
 SENSE_LATENCIES = (1, 8, 32)
 

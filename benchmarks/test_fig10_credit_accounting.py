@@ -20,6 +20,10 @@ from repro.tools.ssplot import PlotData
 
 from .conftest import emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 STYLES = [
     (granularity, source)
     for granularity in ("vc", "port")

@@ -26,6 +26,10 @@ from repro.tools.ssplot import PlotData
 
 from .conftest import FULL_SCALE, emit, run_sim
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 TECHNIQUES = ("flit_buffer", "packet_buffer", "winner_take_all")
 
 

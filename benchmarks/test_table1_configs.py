@@ -20,6 +20,10 @@ from repro.net.network import Network
 
 from .conftest import results_path
 
+# Full figure regenerations are minutes-long simulations: perf tier,
+# excluded from the quick benchmark smoke (-m 'not slow').
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
 
 def test_table1_latent_congestion_column():
     config = table1()["latent_congestion_detection"]

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Measure engine throughput and append the numbers to BENCH_engine.json.
+
+Runs the same workloads as ``benchmarks/test_engine_throughput.py``
+without the pytest harness, so a perf data point costs seconds and can
+be taken on every PR:
+
+* ``event_queue_throughput``: 200k self-rescheduling events, freelist on.
+* ``event_queue_throughput_no_freelist``: the same with the event pool
+  disabled (the before/after comparison for the engine optimizations).
+* ``sweep_worker_scaling`` (``--sweep``): a 16-job sweep at workers=1
+  vs workers=4, verifying identical rows and recording both wall times.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--rounds N] [--sweep]
+
+Each measurement appends one entry to ``BENCH_engine.json`` at the repo
+root; the best (minimum) time over ``--rounds`` is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.simulator import Simulator  # noqa: E402
+from repro.tools.sssweep import Sweep  # noqa: E402
+
+BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
+
+
+def record(name: str, payload: dict) -> None:
+    data: dict = {"history": []}
+    if BENCH_FILE.exists():
+        try:
+            data = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            pass
+    data.setdefault("history", []).append(
+        {
+            "name": name,
+            "timestamp": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+            "source": "scripts/bench_report.py",
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            **payload,
+        }
+    )
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def event_queue_throughput(pool_size: int, target: int = 200_000):
+    simulator = Simulator(event_pool_size=pool_size)
+    count = [0]
+
+    def handler(event):
+        count[0] += 1
+        if count[0] < target:
+            simulator.call_at(simulator.tick + 1, handler)
+
+    for i in range(8):
+        simulator.call_at(i + 1, handler)
+    start = time.perf_counter()
+    simulator.run()
+    elapsed = time.perf_counter() - start
+    return elapsed, count[0]
+
+
+def bench_event_queue(rounds: int) -> None:
+    for name, pool_size in (
+        ("event_queue_throughput", 8192),
+        ("event_queue_throughput_no_freelist", 0),
+    ):
+        best, events = min(
+            (event_queue_throughput(pool_size) for _ in range(rounds)),
+            key=lambda pair: pair[0],
+        )
+        rate = events / best
+        record(
+            name,
+            {
+                "events": events,
+                "seconds": best,
+                "events_per_sec": rate,
+                "freelist": pool_size > 0,
+                "rounds": rounds,
+            },
+        )
+        print(f"{name}: {events} events in {best * 1000:.1f} ms "
+              f"({rate / 1000:.0f}k events/s)")
+
+
+def _scaling_sweep() -> Sweep:
+    from tests.conftest import small_torus_config
+
+    sweep = Sweep(small_torus_config(), name="scaling", max_time=2_000)
+    sweep.add_variable(
+        "InjectionRate", "IR", [0.05, 0.1, 0.15, 0.2],
+        lambda rate: f"workload.applications[0].injection_rate=float={rate}")
+    sweep.add_variable(
+        "Seed", "S", [1, 2, 3, 4],
+        lambda seed: f"simulator.seed=uint={seed}")
+    return sweep
+
+
+def bench_sweep_scaling() -> None:
+    workers = min(4, os.cpu_count() or 1)
+    serial = _scaling_sweep()
+    start = time.perf_counter()
+    serial.run(workers=1)
+    serial_s = time.perf_counter() - start
+    parallel = _scaling_sweep()
+    start = time.perf_counter()
+    parallel.run(workers=workers)
+    parallel_s = time.perf_counter() - start
+    identical = json.dumps(serial.to_rows(), sort_keys=True) == json.dumps(
+        parallel.to_rows(), sort_keys=True
+    )
+    record(
+        "sweep_worker_scaling",
+        {
+            "jobs": len(serial.jobs),
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else None,
+            "rows_identical": identical,
+        },
+    )
+    print(f"sweep_worker_scaling: {len(serial.jobs)} jobs, "
+          f"serial {serial_s:.2f}s vs workers={workers} {parallel_s:.2f}s "
+          f"(identical rows: {identical})")
+    if not identical:
+        raise SystemExit("parallel sweep rows diverged from serial rows")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="repetitions per microbenchmark (best is kept)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="also run the (slower) sweep scaling benchmark")
+    args = parser.parse_args()
+    bench_event_queue(args.rounds)
+    if args.sweep:
+        bench_sweep_scaling()
+    print(f"appended to {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

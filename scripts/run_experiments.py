@@ -3,15 +3,26 @@
 
 This is the script that generated the measured numbers recorded in
 EXPERIMENTS.md.  It runs every case-study sweep at the default
-(scaled-down) sizes; expect ~20-40 minutes of wall time.
+(scaled-down) sizes; expect ~20-40 minutes of wall time serially, or
+divide by ``--workers`` on a multi-core machine: every simulation in
+the grid is independent, so each figure declares its config grid up
+front and the grid runs through a
+:class:`~repro.tools.taskrun.ParallelTaskManager`.  Workers rebuild
+each ``Simulation`` from its config dict and return only the few
+numbers the table needs, so the fan-out stays picklable.
 
-Usage:  python scripts/run_experiments.py [output.md]
+Usage:  python scripts/run_experiments.py [--workers N] [output.md]
 """
 
 from __future__ import annotations
 
+import argparse
+import os
+import pathlib
 import sys
 import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Settings, Simulation
 from repro.configs import (
@@ -20,84 +31,159 @@ from repro.configs import (
     flow_control_config,
     latent_congestion_config,
 )
+from repro.tools.taskrun import FunctionTask, ParallelTaskManager
 
 
-def run(config, max_time):
-    return Simulation(Settings.from_dict(config)).run(max_time=max_time)
+# -- worker-side collectors (module-level so they pickle) ---------------------
+
+def collect_load_latency(config, max_time):
+    """Run one simulation; return the two numbers every table wants."""
+    results = Simulation(Settings.from_dict(config)).run(max_time=max_time)
+    return {
+        "accepted_load": results.accepted_load(),
+        "mean_latency": results.latency().mean(),
+    }
+
+
+def collect_blast_phases(config, max_time, pulse_delay, pulse_duration):
+    """Fig. 5: mean Blast latency before/during/after the Pulse burst."""
+    results = Simulation(Settings.from_dict(config)).run(max_time=max_time)
+    workload = results.workload
+    blast = results.records(application_id=0)
+    lo = workload.start_tick + pulse_delay
+    hi = lo + pulse_duration
+
+    def mean_between(a, b):
+        window = [r.latency for r in blast if a <= r.created_tick < b]
+        return sum(window) / len(window) if window else float("nan")
+
+    return {
+        "before": mean_between(workload.start_tick, lo),
+        "during": mean_between(lo, hi),
+        "after": mean_between(hi + 1500, workload.stop_tick),
+    }
+
+
+def run_grid(jobs, workers):
+    """Run ``{key: (collector, args)}``; returns ``{key: result}``.
+
+    With one worker everything runs inline (no process overhead); with
+    more, jobs fan out across spawned processes.  Results come back
+    keyed, so table-formatting code is identical either way.
+    """
+    if workers <= 1:
+        return {key: func(*args) for key, (func, args) in jobs.items()}
+    manager = ParallelTaskManager(
+        resources={"sim": workers}, num_workers=workers
+    )
+    tasks = {
+        key: manager.add_task(
+            FunctionTask(str(key), func, args, resources={"sim": 1})
+        )
+        for key, (func, args) in jobs.items()
+    }
+    manager.run()
+    for key, task in tasks.items():
+        if task.error is not None:
+            raise RuntimeError(f"grid job {key!r} failed") from task.error
+    return {key: task.result for key, task in tasks.items()}
 
 
 def section(lines, title):
     lines.append(f"\n### {title}\n")
 
 
-def fig9(lines):
+def fig9(lines, workers):
     section(lines, "Fig. 9 — latent congestion detection")
     lines.append("| output queues | sense latency (ns) | accepted load | mean latency (ns) |")
     lines.append("|---|---|---|---|")
+    grid = {}
     for depth, label in ((None, "infinite"), (64, "64 flits")):
         for sense in (1, 8, 32, 64):
             config = latent_congestion_config(
                 congestion_latency=sense, output_queue_depth=depth,
                 injection_rate=0.85, half_radix=4, warmup=1500, window=3000)
             config["network"]["num_levels"] = 2
-            results = run(config, 25_000)
-            lines.append(
-                f"| {label} | {sense} | {results.accepted_load():.3f} "
-                f"| {results.latency().mean():.1f} |")
-            print(lines[-1], flush=True)
+            grid[(label, sense)] = (collect_load_latency, (config, 25_000))
+    results = run_grid(grid, workers)
+    for (label, sense), r in results.items():
+        lines.append(
+            f"| {label} | {sense} | {r['accepted_load']:.3f} "
+            f"| {r['mean_latency']:.1f} |")
+        print(lines[-1], flush=True)
 
 
-def fig9_smaller(lines):
+def fig9_smaller(lines, workers):
     section(lines, "Fig. 9 text — smaller systems are milder")
     lines.append("| half radix | terminals | acc @ sense=1 | acc @ sense=32 | drop |")
     lines.append("|---|---|---|---|---|")
+    grid = {}
     for half_radix in (2, 4):
-        accs = {}
         for sense in (1, 32):
             config = latent_congestion_config(
                 congestion_latency=sense, output_queue_depth=64,
                 injection_rate=0.85, half_radix=half_radix,
                 warmup=1500, window=3000)
             config["network"]["num_levels"] = 2
-            accs[sense] = run(config, 25_000).accepted_load()
+            grid[(half_radix, sense)] = (collect_load_latency, (config, 25_000))
+    results = run_grid(grid, workers)
+    for half_radix in (2, 4):
+        accs = {s: results[(half_radix, s)]["accepted_load"] for s in (1, 32)}
         drop = 1 - accs[32] / accs[1]
         lines.append(f"| {half_radix} | {half_radix**2} | {accs[1]:.3f} "
                      f"| {accs[32]:.3f} | {drop:.1%} |")
         print(lines[-1], flush=True)
 
 
-def fig10(lines):
+def fig10(lines, workers):
     section(lines, "Fig. 10 — credit accounting styles (UGAL, IOQ)")
-    for traffic, rate in (("uniform_random", 0.7), ("bit_complement", 0.6)):
+    grid = {}
+    cases = (("uniform_random", 0.7), ("bit_complement", 0.6))
+    styles = [
+        (granularity, source)
+        for granularity in ("vc", "port")
+        for source in ("output", "downstream", "both")
+    ]
+    for traffic, rate in cases:
+        for granularity, source in styles:
+            config = credit_accounting_config(
+                granularity=granularity, source=source, traffic=traffic,
+                injection_rate=rate, warmup=1500, window=3000)
+            grid[(traffic, granularity, source)] = (
+                collect_load_latency, (config, 25_000))
+    results = run_grid(grid, workers)
+    for traffic, rate in cases:
         lines.append(f"\n**{traffic} @ {rate}**\n")
         lines.append("| style | accepted load | mean latency (ns) |")
         lines.append("|---|---|---|")
-        for granularity in ("vc", "port"):
-            for source in ("output", "downstream", "both"):
-                config = credit_accounting_config(
-                    granularity=granularity, source=source, traffic=traffic,
-                    injection_rate=rate, warmup=1500, window=3000)
-                results = run(config, 25_000)
-                lines.append(
-                    f"| {granularity}/{source} | {results.accepted_load():.3f} "
-                    f"| {results.latency().mean():.1f} |")
-                print(lines[-1], flush=True)
+        for granularity, source in styles:
+            r = results[(traffic, granularity, source)]
+            lines.append(
+                f"| {granularity}/{source} | {r['accepted_load']:.3f} "
+                f"| {r['mean_latency']:.1f} |")
+            print(lines[-1], flush=True)
 
 
-def fig11(lines):
+def fig11(lines, workers):
     section(lines, "Fig. 11 — flow control throughput (offered 0.9)")
     lines.append("| VCs | message size | FB | PB | WTA |")
     lines.append("|---|---|---|---|---|")
+    techniques = ("flit_buffer", "packet_buffer", "winner_take_all")
+    grid = {}
     for vcs in (2, 4, 8):
         for size in (1, 8, 32):
-            row = {}
-            for technique in ("flit_buffer", "packet_buffer",
-                              "winner_take_all"):
+            for technique in techniques:
                 config = flow_control_config(
                     flow_control=technique, num_vcs=vcs, message_size=size,
                     injection_rate=0.9, warmup=1000, window=2000)
                 config["network"]["dimension_widths"] = [4, 4]
-                row[technique] = run(config, 14_000).accepted_load()
+                grid[(vcs, size, technique)] = (
+                    collect_load_latency, (config, 14_000))
+    results = run_grid(grid, workers)
+    for vcs in (2, 4, 8):
+        for size in (1, 8, 32):
+            row = {t: results[(vcs, size, t)]["accepted_load"]
+                   for t in techniques}
             lines.append(
                 f"| {vcs} | {size} | {row['flit_buffer']:.3f} "
                 f"| {row['packet_buffer']:.3f} "
@@ -105,62 +191,69 @@ def fig11(lines):
             print(lines[-1], flush=True)
 
 
-def fig12(lines):
+def fig12(lines, workers):
     section(lines, "Fig. 12 — flow control latency (8 VCs, 32-flit messages)")
     lines.append("| load | FB mean | PB mean | WTA mean |")
     lines.append("|---|---|---|---|")
+    techniques = ("flit_buffer", "packet_buffer", "winner_take_all")
+    grid = {}
     for load in (0.3, 0.5, 0.7):
-        row = {}
-        for technique in ("flit_buffer", "packet_buffer", "winner_take_all"):
+        for technique in techniques:
             config = flow_control_config(
                 flow_control=technique, num_vcs=8, message_size=32,
                 injection_rate=load, warmup=1000, window=2500)
             config["network"]["dimension_widths"] = [4, 4]
-            row[technique] = run(config, 25_000).latency().mean()
+            grid[(load, technique)] = (collect_load_latency, (config, 25_000))
+    results = run_grid(grid, workers)
+    for load in (0.3, 0.5, 0.7):
+        row = {t: results[(load, t)]["mean_latency"] for t in techniques}
         lines.append(f"| {load} | {row['flit_buffer']:.1f} "
                      f"| {row['packet_buffer']:.1f} "
                      f"| {row['winner_take_all']:.1f} |")
         print(lines[-1], flush=True)
 
 
-def fig5(lines):
+def fig5(lines, workers):
     section(lines, "Fig. 5 — Blast disrupted by Pulse")
-    results = run(blast_pulse_config(blast_rate=0.2, pulse_rate=0.7,
-                                     pulse_delay=1500, pulse_duration=1000),
-                  150_000)
-    workload = results.workload
-    blast = results.records(application_id=0)
-    lo = workload.start_tick + 1500
-    hi = lo + 1000
-
-    def mean_between(a, b):
-        window = [r.latency for r in blast if a <= r.created_tick < b]
-        return sum(window) / len(window) if window else float("nan")
-
+    config = blast_pulse_config(blast_rate=0.2, pulse_rate=0.7,
+                                pulse_delay=1500, pulse_duration=1000)
+    phases = run_grid(
+        {"fig5": (collect_blast_phases, (config, 150_000, 1500, 1000))},
+        workers,
+    )["fig5"]
     lines.append("| phase | Blast mean latency (ns) |")
     lines.append("|---|---|")
-    lines.append(f"| before pulse | {mean_between(workload.start_tick, lo):.1f} |")
-    lines.append(f"| during pulse | {mean_between(lo, hi):.1f} |")
-    lines.append(f"| after recovery | {mean_between(hi + 1500, workload.stop_tick):.1f} |")
+    lines.append(f"| before pulse | {phases['before']:.1f} |")
+    lines.append(f"| during pulse | {phases['during']:.1f} |")
+    lines.append(f"| after recovery | {phases['after']:.1f} |")
     for line in lines[-3:]:
         print(line, flush=True)
 
 
 def main():
+    parser = argparse.ArgumentParser(
+        description="Run the reproduction experiment grid")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="markdown output file (default: stdout)")
+    parser.add_argument("--workers", type=int, default=os.cpu_count(),
+                        help="worker processes (default: all cores)")
+    args = parser.parse_args()
+
     start = time.time()
     lines = ["# Experiment grid output", ""]
-    fig5(lines)
-    fig9(lines)
-    fig9_smaller(lines)
-    fig10(lines)
-    fig11(lines)
-    fig12(lines)
-    lines.append(f"\n_total wall time: {time.time() - start:.0f} s_")
+    fig5(lines, args.workers)
+    fig9(lines, args.workers)
+    fig9_smaller(lines, args.workers)
+    fig10(lines, args.workers)
+    fig11(lines, args.workers)
+    fig12(lines, args.workers)
+    lines.append(f"\n_total wall time: {time.time() - start:.0f} s "
+                 f"({args.workers} workers)_")
     text = "\n".join(lines) + "\n"
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w", encoding="utf-8") as handle:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
-        print(f"\nwrote {sys.argv[1]}")
+        print(f"\nwrote {args.output}")
     else:
         print(text)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -57,11 +58,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print a progress line every TICKS simulated ticks",
     )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        metavar="SHORT=path=type=v1,v2,...",
+        default=None,
+        help="sweep a setting over several values instead of running "
+        "once; repeat for a cross product (see the sssweep tool)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes for --sweep mode (default: all cores)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.sweep:
+        # Delegate to the sssweep CLI: one simulation per value combo,
+        # fanned out across --workers processes.
+        from repro.tools.cli import sssweep_main
+
+        sweep_argv: List[str] = [args.config]
+        for spec in args.sweep:
+            sweep_argv.extend(["--var", spec])
+        sweep_argv.extend(["--workers", str(args.workers)])
+        if args.max_time is not None:
+            sweep_argv.extend(["--max-time", str(args.max_time)])
+        if args.quiet:
+            sweep_argv.append("--quiet")
+        return sssweep_main(sweep_argv)
     overrides = list(args.overrides)
     if args.progress:
         overrides.append(f"simulator.monitor.period=uint={args.progress}")

@@ -62,7 +62,7 @@ class Component:
             epsilon = max(epsilon, simulator.epsilon + 1)
         else:
             tick = simulator.tick + delay_ticks
-        return simulator.add_event(Event(handler, data), tick, epsilon)
+        return simulator.call_at(tick, handler, data, epsilon)
 
     def schedule_at(
         self,
@@ -72,7 +72,7 @@ class Component:
         data: Any = None,
     ) -> Event:
         """Schedule ``handler`` at an absolute ``(tick, epsilon)``."""
-        return self.simulator.add_event(Event(handler, data), tick, epsilon)
+        return self.simulator.call_at(tick, handler, data, epsilon)
 
     # -- debug ------------------------------------------------------------------
 

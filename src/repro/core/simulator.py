@@ -7,22 +7,54 @@ simulator's priority queue.  The executer sequentially pulls events from
 the queue, ordered by ``(tick, epsilon)``, and executes them.  The
 simulation is over when the event queue runs empty.
 
-Performance note: time is carried as two plain ints through the hot
-path (scheduling + executing millions of events per simulated
-millisecond); the :class:`~repro.core.simtime.TimeStep` value type is
-only materialized at API boundaries (``now``, ``Event.time``).
+Performance notes (see ``docs/PERFORMANCE.md`` for the full story):
+
+* Time is carried as a single packed integer key through the hot path:
+  ``key = (tick << 20) | epsilon``.  One machine comparison orders two
+  timestamps, heap entries are 3-tuples, and the causality check is a
+  single ``<=``.  Epsilon is therefore bounded at ``2**20 - 1``, far
+  above the single-digit epsilons the component conventions use
+  (:mod:`repro.net.phases`).
+* ``tick`` and ``epsilon`` are plain attributes (not properties):
+  handlers read them millions of times per run.  Treat them as
+  read-only.
+* Fired :class:`Event` objects are recycled through a freelist instead
+  of being reallocated millions of times per run.  Recycling is gated
+  on the executer holding the sole reference (checked via the CPython
+  reference count), so an event the caller kept a handle to is never
+  reused and external handles are never aliased.
+* The executer batch-drains runs of events that share one timestamp:
+  the clock and the executed-event counter are written once per run of
+  equal-time events instead of once per event.
+* ``run()`` dispatches to specialized inner loops so the common cases
+  (no limits at all, or only ``max_time``) pay no per-event limit
+  bookkeeping.
+* Lazy-deleted (cancelled) queue entries are counted, and the heap is
+  compacted in place when the dead fraction crosses a threshold, so
+  cancellation-heavy workloads cannot grow the queue unboundedly.
+* ``Simulator`` declares ``__slots__``: attribute access shows up on
+  every scheduled event, and slot access is measurably faster than a
+  dict lookup.
 """
 
 from __future__ import annotations
 
 import heapq
 import time as _wallclock
+from itertools import count as _count
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.event import Event
 from repro.core.simtime import TimeStep
 
 TimeLike = Union[TimeStep, int]
+
+#: bits reserved for epsilon inside a packed time key.
+EPSILON_BITS = 20
+#: exclusive upper bound for epsilon values.
+EPSILON_LIMIT = 1 << EPSILON_BITS
+_EPS_MASK = EPSILON_LIMIT - 1
 
 
 class SimulationError(RuntimeError):
@@ -32,19 +64,58 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Global event queue, executer, and component registry.
 
-    The queue holds ``(tick, epsilon, seq, event)`` tuples.  ``seq`` is a
-    monotonically increasing sequence number, making execution order fully
+    The queue holds ``(key, seq, event)`` tuples where ``key`` packs
+    ``(tick, epsilon)`` into one integer and ``seq`` is a monotonically
+    increasing sequence number, making execution order fully
     deterministic for events scheduled at identical times: ties break in
     scheduling order.
+
+    Attributes:
+        tick: the tick component of the current simulation time.
+            Read-only by convention (plain attribute for speed).
+        epsilon: the epsilon component of the current simulation time.
+            Read-only by convention (plain attribute for speed).
+
+    Args:
+        event_pool_size: maximum number of fired events kept for reuse
+            across runs.  ``0`` disables the freelist entirely and
+            routes execution through the general (unspecialized) loop --
+            the pre-optimization behaviour, mainly useful for
+            benchmarking the optimizations themselves.
     """
 
-    def __init__(self):
-        self._queue: List[Tuple[int, int, int, Event]] = []
-        self._seq = 0
-        self._now_tick = 0
-        self._now_epsilon = 0
+    __slots__ = (
+        "_queue",
+        "_seq",
+        "tick",
+        "epsilon",
+        "_now_key",
+        "_running",
+        "_executed_events",
+        "_cancelled_pending",
+        "_compactions",
+        "_event_pool",
+        "_event_pool_size",
+        "_components",
+        "_observers",
+    )
+
+    #: compaction threshold: compact when at least this many entries are
+    #: cancelled AND they make up more than half of the queue.
+    COMPACT_MIN_CANCELLED = 64
+
+    def __init__(self, event_pool_size: int = 8192):
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._seq = _count()
+        self.tick = 0
+        self.epsilon = 0
+        self._now_key = 0
         self._running = False
         self._executed_events = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
+        self._event_pool: List[Event] = []
+        self._event_pool_size = event_pool_size
         self._components: Dict[str, "Component"] = {}
         self._observers: List[Callable[["Simulator"], None]] = []
 
@@ -53,22 +124,27 @@ class Simulator:
     @property
     def now(self) -> TimeStep:
         """The current simulation time."""
-        return TimeStep(self._now_tick, self._now_epsilon)
-
-    @property
-    def tick(self) -> int:
-        """The tick component of the current simulation time."""
-        return self._now_tick
-
-    @property
-    def epsilon(self) -> int:
-        """The epsilon component of the current simulation time."""
-        return self._now_epsilon
+        return TimeStep(self.tick, self.epsilon)
 
     @property
     def executed_events(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of events executed so far.
+
+        Exact between runs and at every ``(tick, epsilon)`` boundary;
+        within a batch-drained run of equal-time events the counter is
+        updated once for the whole run, not per event.
+        """
         return self._executed_events
+
+    @property
+    def compactions(self) -> int:
+        """Number of times the event queue was compacted (stats)."""
+        return self._compactions
+
+    @property
+    def recycled_events(self) -> int:
+        """Number of Event objects currently parked in the freelist."""
+        return len(self._event_pool)
 
     # -- component registry --------------------------------------------------
 
@@ -93,6 +169,21 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------------
 
+    def _bad_time(self, tick: int, epsilon: int) -> SimulationError:
+        if epsilon >= EPSILON_LIMIT:
+            return SimulationError(
+                f"epsilon {epsilon} exceeds the packed-time limit "
+                f"({EPSILON_LIMIT - 1}); epsilons are meant to order "
+                "phases within a tick, not to carry time"
+            )
+        if tick < 0 or epsilon < 0:
+            return SimulationError(f"bad event time ({tick}, {epsilon})")
+        return SimulationError(
+            f"event scheduled at ({tick}, {epsilon}), not after the "
+            f"current time ({self.tick}, {self.epsilon}); "
+            "use a greater tick or epsilon"
+        )
+
     def add_event(self, event: Event, time: TimeLike, epsilon: int = 0) -> Event:
         """Schedule ``event`` at the given absolute time.
 
@@ -107,21 +198,20 @@ class Simulator:
             tick, epsilon = time.tick, time.epsilon
         else:
             tick = int(time)
-        if tick < 0 or epsilon < 0:
-            raise SimulationError(f"bad event time ({tick}, {epsilon})")
-        if self._running and (
-            tick < self._now_tick
-            or (tick == self._now_tick and epsilon <= self._now_epsilon)
-        ):
-            raise SimulationError(
-                f"event scheduled at ({tick}, {epsilon}), not after the "
-                f"current time ({self._now_tick}, {self._now_epsilon}); "
-                "use a greater tick or epsilon"
-            )
+        if tick < 0 or epsilon < 0 or epsilon >= EPSILON_LIMIT:
+            raise self._bad_time(tick, epsilon)
+        key = (tick << EPSILON_BITS) | epsilon
+        if self._running and key <= self._now_key:
+            raise self._bad_time(tick, epsilon)
         event.tick = tick
         event.epsilon = epsilon
-        heapq.heappush(self._queue, (tick, epsilon, self._seq, event))
-        self._seq += 1
+        event.fired = False
+        event._sim = self
+        heapq.heappush(self._queue, (key, next(self._seq), event))
+        if event.cancelled:
+            # Scheduling an already-cancelled event still occupies a
+            # queue slot; account for it so pending_events stays honest.
+            self._cancelled_pending += 1
         return event
 
     def call_at(
@@ -131,13 +221,88 @@ class Simulator:
         data: Any = None,
         epsilon: int = 0,
     ) -> Event:
-        """Convenience: create and schedule an event in one call."""
-        return self.add_event(Event(handler, data), time, epsilon)
+        """Convenience: create and schedule an event in one call.
+
+        This is the hot scheduling path: the event object comes from the
+        freelist when one is available (its ``generation`` increments on
+        reuse) and a fresh allocation otherwise.
+        """
+        if type(time) is int:
+            tick = time
+        elif isinstance(time, TimeStep):
+            tick, epsilon = time.tick, time.epsilon
+        else:
+            tick = int(time)
+        # Checks are inlined and packed-key based: one comparison covers
+        # the whole causality test.
+        if tick < 0 or epsilon < 0 or epsilon >= EPSILON_LIMIT:
+            raise self._bad_time(tick, epsilon)
+        key = (tick << EPSILON_BITS) | epsilon
+        if self._running and key <= self._now_key:
+            raise self._bad_time(tick, epsilon)
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.handler = handler
+            event.data = data
+            event.fired = False
+            event.generation += 1
+        else:
+            event = Event(handler, data)
+            event._sim = self
+        event.tick = tick
+        event.epsilon = epsilon
+        heapq.heappush(self._queue, (key, next(self._seq), event))
+        return event
 
     @property
     def queue_size(self) -> int:
-        """Number of events pending in the queue (including cancelled)."""
+        """Raw queue length, *including* lazily-cancelled entries.
+
+        Cancelled events stay in the heap until popped or compacted, so
+        this over-reports the true backlog; use :attr:`pending_events`
+        for the number of events that will actually execute.
+        """
         return len(self._queue)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events that are not cancelled."""
+        return len(self._queue) - self._cancelled_pending
+
+    # -- cancellation accounting / compaction -----------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by Event.cancel(); counts dead entries, compacts the heap.
+
+        Compaction runs when at least ``COMPACT_MIN_CANCELLED`` entries
+        are dead and they outnumber the live ones, bounding the memory a
+        cancel-heavy workload can waste at ~2x the live queue.
+        """
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self.compact()
+
+    def compact(self) -> int:
+        """Drop cancelled entries from the queue; returns how many.
+
+        Mutates the heap list in place (the executer holds a reference
+        to it across a run), then re-heapifies.  Heap order among the
+        survivors is rebuilt from the same (key, seq) entries, so
+        execution order is unaffected.
+        """
+        queue = self._queue
+        before = len(queue)
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        dropped = before - len(queue)
+        if dropped:
+            heapq.heapify(queue)
+            self._compactions += 1
+        self._cancelled_pending = 0
+        return dropped
 
     # -- execution --------------------------------------------------------------
 
@@ -152,8 +317,10 @@ class Simulator:
         Optional safety limits stop a runaway simulation:
 
         * ``max_time``: stop before executing any event past this tick.
-        * ``max_events``: stop after executing this many events.
-        * ``max_seconds``: stop after this much wall-clock time.
+        * ``max_events``: stop after executing this many events *in this
+          call* (resumed runs get a fresh budget).
+        * ``max_seconds``: stop after this much wall-clock time, counted
+          from this call.
 
         Returns the final simulation time.
         """
@@ -166,42 +333,169 @@ class Simulator:
         deadline = (
             _wallclock.monotonic() + max_seconds if max_seconds is not None else None
         )
-        executed_at_entry = self._executed_events
-        check_mask = 0x3FF  # test wall clock every 1024 events
-        queue = self._queue
-        pop = heapq.heappop
         self._running = True
         try:
-            while queue:
-                tick, epsilon, _seq, event = pop(queue)
-                if event.cancelled:
-                    continue
-                if limit_tick is not None and (
-                    tick > limit_tick
-                    or (tick == limit_tick and epsilon > limit_epsilon)
-                ):
-                    # Put it back; the caller may resume later.
-                    heapq.heappush(queue, (tick, epsilon, _seq, event))
-                    break
-                self._now_tick = tick
-                self._now_epsilon = epsilon
-                event.handler(event)
-                self._executed_events += 1
-                if max_events is not None and (
-                    self._executed_events - executed_at_entry >= max_events
-                ):
-                    break
-                if (
-                    deadline is not None
-                    and (self._executed_events & check_mask) == 0
-                    and _wallclock.monotonic() > deadline
-                ):
-                    break
+            if (
+                max_events is None
+                and deadline is None
+                and self._event_pool_size > 0
+            ):
+                if limit_tick is None:
+                    self._run_unbounded()
+                else:
+                    self._run_time_limited(limit_tick, limit_epsilon)
+            else:
+                self._run_general(limit_tick, limit_epsilon, max_events, deadline)
         finally:
             self._running = False
         for observer in self._observers:
             observer(self)
         return self.now
+
+    def _run_unbounded(self) -> None:
+        """Drain the queue with no limit checks (the common case).
+
+        The loop terminates through ``heappop`` raising ``IndexError``
+        on the empty queue, which saves an emptiness test per event; an
+        ``IndexError`` escaping a *handler* is told apart by its
+        traceback (the handler adds a frame) and re-raised.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._event_pool
+        refs = _getrefcount
+        executed = self._executed_events
+        key = -1
+        try:
+            while True:
+                entry_key, _seq, event = pop(queue)
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    if refs(event) == 2:
+                        event.cancelled = False
+                        pool.append(event)
+                    continue
+                if entry_key != key:
+                    # New (tick, epsilon) batch: write the clock and the
+                    # event counter once for the whole run of equal-time
+                    # events.  Causality forbids scheduling *into* the
+                    # current timestamp, so a batch only shrinks.
+                    key = entry_key
+                    self.tick = key >> EPSILON_BITS
+                    self.epsilon = key & _EPS_MASK
+                    self._now_key = key
+                    self._executed_events = executed
+                event.fired = True
+                event.handler(event)
+                executed += 1
+                if refs(event) == 2:
+                    pool.append(event)
+        except IndexError:
+            if queue or _raised_from_handler():
+                raise
+        finally:
+            self._executed_events = executed
+            del pool[self._event_pool_size :]
+
+    def _run_time_limited(self, limit_tick: int, limit_epsilon: int) -> None:
+        """Drain up to (limit_tick, limit_epsilon); no event/clock limits.
+
+        One packed-key comparison per event implements the whole limit
+        test.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._event_pool
+        refs = _getrefcount
+        executed = self._executed_events
+        limit_key = (limit_tick << EPSILON_BITS) | limit_epsilon
+        key = -1
+        try:
+            while True:
+                entry_key, _seq, event = pop(queue)
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    if refs(event) == 2:
+                        event.cancelled = False
+                        pool.append(event)
+                    continue
+                if entry_key > limit_key:
+                    # Put it back; the caller may resume later.
+                    heapq.heappush(queue, (entry_key, _seq, event))
+                    break
+                if entry_key != key:
+                    key = entry_key
+                    self.tick = key >> EPSILON_BITS
+                    self.epsilon = key & _EPS_MASK
+                    self._now_key = key
+                    self._executed_events = executed
+                event.fired = True
+                event.handler(event)
+                executed += 1
+                if refs(event) == 2:
+                    pool.append(event)
+        except IndexError:
+            if queue or _raised_from_handler():
+                raise
+        finally:
+            self._executed_events = executed
+            del pool[self._event_pool_size :]
+
+    def _run_general(
+        self,
+        limit_tick: Optional[int],
+        limit_epsilon: int,
+        max_events: Optional[int],
+        deadline: Optional[float],
+    ) -> None:
+        """Full-featured loop: any combination of time/event/clock limits.
+
+        Both the ``max_events`` budget and the wall-clock check cadence
+        are based on the number of events executed *in this call*, so a
+        resumed run gets a fresh budget and checks the clock on a steady
+        1024-event cadence regardless of history.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._event_pool
+        pool_max = self._event_pool_size
+        refs = _getrefcount
+        executed_this_run = 0
+        check_mask = 0x3FF  # test wall clock every 1024 events
+        limit_key = (
+            None
+            if limit_tick is None
+            else (limit_tick << EPSILON_BITS) | limit_epsilon
+        )
+        while queue:
+            entry_key, _seq, event = pop(queue)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                if refs(event) == 2 and len(pool) < pool_max:
+                    event.cancelled = False
+                    pool.append(event)
+                continue
+            if limit_key is not None and entry_key > limit_key:
+                # Put it back; the caller may resume later.
+                heapq.heappush(queue, (entry_key, _seq, event))
+                break
+            self.tick = entry_key >> EPSILON_BITS
+            self.epsilon = entry_key & _EPS_MASK
+            self._now_key = entry_key
+            event.fired = True
+            event.handler(event)
+            self._executed_events += 1
+            executed_this_run += 1
+            if refs(event) == 2 and len(pool) < pool_max:
+                pool.append(event)
+            if max_events is not None and executed_this_run >= max_events:
+                break
+            if (
+                deadline is not None
+                and (executed_this_run & check_mask) == 0
+                and _wallclock.monotonic() > deadline
+            ):
+                break
 
     def add_run_observer(self, observer: Callable[["Simulator"], None]) -> None:
         """Register a callable invoked after each :meth:`run` completes."""
@@ -212,6 +506,20 @@ class Simulator:
             f"Simulator(now={self.now}, queued={len(self._queue)}, "
             f"executed={self._executed_events})"
         )
+
+
+def _raised_from_handler() -> bool:
+    """Was the in-flight IndexError raised inside a handler frame?
+
+    ``heappop`` is a C function: an IndexError it raises on an empty
+    queue carries only the executer's own frame.  An IndexError from a
+    handler carries at least one more Python frame below the executer.
+    """
+    import sys
+
+    exc = sys.exc_info()[1]
+    tb = exc.__traceback__
+    return tb is not None and tb.tb_next is not None
 
 
 # Imported at the bottom to avoid a cycle: Component type is only needed

@@ -1,7 +1,7 @@
 """Command line executables for the tool suite (paper §V).
 
-SSParse and SSPlot are usable both as Python packages and as command
-line tools; these are the CLI faces:
+SSParse, SSPlot, and SSSweep are usable both as Python packages and as
+command line tools; these are the CLI faces:
 
 ``ssparse``::
 
@@ -18,12 +18,23 @@ exports raw samples.
 
 renders the requested plot as ASCII on stdout and optionally exports
 the numeric series as CSV.
+
+``sssweep``::
+
+    sssweep base.json \\
+        --var "IR=workload.applications[0].injection_rate=float=0.1,0.2,0.3" \\
+        --var "S=simulator.seed=uint=1,2,3" \\
+        --workers 8 --csv sweep.csv --html sweep.html
+
+runs the cross product of all ``--var`` values (here 9 simulations)
+across ``--workers`` processes and prints the result rows as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -98,3 +109,78 @@ def ssplot_main(argv: Optional[List[str]] = None) -> int:
         plot.write_csv(args.csv)
         print(f"wrote series to {args.csv}", file=sys.stderr)
     return 0
+
+
+def _parse_sweep_var(spec: str):
+    """Parse ``SHORT=path=type=v1,v2,...`` into sweep-variable pieces."""
+    parts = spec.split("=", 3)
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"bad --var {spec!r}; expected SHORT=path=type=v1,v2,..."
+        )
+    short, path, type_name, raw_values = parts
+    values = [v.strip() for v in raw_values.split(",") if v.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError(f"--var {spec!r} has no values")
+    return short, path, type_name, values
+
+
+def sssweep_main(argv: Optional[List[str]] = None) -> int:
+    from repro.tools.sssweep import Sweep
+
+    parser = argparse.ArgumentParser(
+        prog="sssweep",
+        description="Run a cross-product sweep of simulations from a "
+        "base config, optionally across worker processes",
+    )
+    parser.add_argument("config", help="base JSON settings file")
+    parser.add_argument(
+        "--var",
+        action="append",
+        required=True,
+        metavar="SHORT=path=type=v1,v2,...",
+        help="a swept dimension; repeat for a cross product",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes (default: all cores)",
+    )
+    parser.add_argument("--max-time", type=int, default=None,
+                        help="hard stop for every simulation")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock limit in seconds")
+    parser.add_argument("--name", default="sweep")
+    parser.add_argument("--csv", help="write result rows as CSV")
+    parser.add_argument("--html", help="write the HTML index page")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the JSON rows on stdout")
+    args = parser.parse_args(argv)
+
+    with open(args.config, "r", encoding="utf-8") as handle:
+        base_config = json.load(handle)
+
+    sweep = Sweep(base_config, name=args.name, max_time=args.max_time)
+    for spec in args.var:
+        try:
+            short, path, type_name, values = _parse_sweep_var(spec)
+        except argparse.ArgumentTypeError as exc:
+            parser.error(str(exc))
+        sweep.add_variable(
+            short, short, values,
+            lambda v, path=path, type_name=type_name: f"{path}={type_name}={v}",
+        )
+    sweep.run(workers=args.workers, job_timeout=args.job_timeout)
+
+    rows = sweep.to_rows()
+    if args.csv:
+        sweep.write_csv(args.csv)
+        print(f"wrote {len(rows)} rows to {args.csv}", file=sys.stderr)
+    if args.html:
+        sweep.write_html_index(args.html)
+        print(f"wrote index to {args.html}", file=sys.stderr)
+    if not args.quiet:
+        json.dump(rows, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+    return 0 if not any(job.error for job in sweep.jobs) else 1

@@ -29,7 +29,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.config.settings import Settings
 from repro.sim import Simulation, SimulationResults
-from repro.tools.taskrun import FunctionTask, TaskManager
+from repro.tools.taskrun import (
+    FunctionTask,
+    ParallelTaskManager,
+    TaskManager,
+    TaskState,
+)
 
 OverrideFn = Callable[[Any], Any]  # value -> str | List[str]
 CollectFn = Callable[[SimulationResults], Any]
@@ -72,6 +77,26 @@ class SweepJob:
 
 def default_collect(results: SimulationResults) -> Dict[str, Any]:
     return results.summary()
+
+
+def _execute_sweep_job(
+    base_config: dict,
+    overrides: List[str],
+    max_time: Optional[int],
+    collect: CollectFn,
+) -> Any:
+    """Build and run one sweep job from plain data; the worker-side half
+    of a parallel sweep.
+
+    Module-level (and fed only picklable arguments) so it ships to a
+    spawned worker process: the ``Simulation`` is constructed *inside*
+    the worker from the resolved config dict, and only the collected
+    result travels back.
+    """
+    settings = Settings.from_dict(base_config, overrides=overrides)
+    simulation = Simulation(settings)
+    results = simulation.run(max_time=max_time)
+    return collect(results)
 
 
 class Sweep:
@@ -150,13 +175,39 @@ class Sweep:
         job.result = self.collect(results)
         return job.result
 
-    def run(self, observer: Optional[Callable[[SweepJob], None]] = None) -> None:
-        """Execute every job through a taskrun TaskManager."""
+    def run(
+        self,
+        observer: Optional[Callable[[SweepJob], None]] = None,
+        workers: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        """Execute every job; ``workers > 1`` fans out across processes.
+
+        ``workers`` defaults to the sweep's ``num_workers`` (itself 1 by
+        default).  With one worker, jobs run serially in this process.
+        With more, each job is shipped to a spawned worker process via
+        :class:`~repro.tools.taskrun.ParallelTaskManager`: the worker
+        rebuilds the ``Simulation`` from the resolved config dict and
+        returns only the collected result, so nothing unpicklable ever
+        crosses the process boundary.  Job results land in cross-product
+        order either way -- ``to_rows()`` output is identical for any
+        worker count (simulations are independently seeded from their
+        settings).
+
+        ``job_timeout`` (seconds, parallel mode only) fails any single
+        job that runs too long instead of hanging the sweep.
+        """
         if not self.jobs:
             self.generate_jobs()
-        manager = TaskManager(
-            resources={"sim": self.num_workers}, num_workers=self.num_workers
-        )
+        if workers is None:
+            workers = self.num_workers
+        if workers <= 1:
+            self._run_serial(observer)
+        else:
+            self._run_parallel(observer, workers, job_timeout)
+
+    def _run_serial(self, observer: Optional[Callable[[SweepJob], None]]) -> None:
+        manager = TaskManager(resources={"sim": 1}, num_workers=1)
         for job in self.jobs:
             def run_one(job=job):
                 result = self._run_job(job)
@@ -174,6 +225,41 @@ class Sweep:
             for job in self.jobs:
                 if job.job_id == job_id:
                     job.error = str(task.error)
+
+    def _run_parallel(
+        self,
+        observer: Optional[Callable[[SweepJob], None]],
+        workers: int,
+        job_timeout: Optional[float],
+    ) -> None:
+        manager = ParallelTaskManager(
+            resources={"sim": workers}, num_workers=workers
+        )
+        pairs = []
+        for job in self.jobs:
+            task = FunctionTask(
+                f"{self.name}:{job.job_id}",
+                _execute_sweep_job,
+                (self.base_config, job.overrides, self.max_time, self.collect),
+                resources={"sim": 1},
+                timeout=job_timeout,
+            )
+            manager.add_task(task)
+            pairs.append((task, job))
+        manager.run()
+        # Results attach to jobs in cross-product order, independent of
+        # completion order; observers likewise fire in job order (after
+        # the fact -- per-job progress streaming is a serial-mode
+        # nicety).
+        for task, job in pairs:
+            if task.state == TaskState.SUCCEEDED:
+                job.result = task.result
+            elif task.error is not None:
+                job.error = str(task.error)
+            else:
+                job.error = f"job ended in state {task.state.value}"
+            if observer is not None:
+                observer(job)
 
     # -- results ------------------------------------------------------------------------
 

@@ -27,9 +27,21 @@ cancelled; independent subgraphs keep running.
 from __future__ import annotations
 
 import enum
+import os
+import pickle
 import subprocess
 import threading
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 
 class TaskState(enum.Enum):
@@ -57,12 +69,14 @@ class Task:
         name: str,
         resources: Optional[Dict[str, int]] = None,
         condition: Optional[Callable[[], bool]] = None,
+        timeout: Optional[float] = None,
     ):
         if not name:
             raise TaskError("task name must be non-empty")
         self.name = name
         self.resources = dict(resources or {})
         self.condition = condition
+        self.timeout = timeout
         self.dependencies: List["Task"] = []
         self.dependents: List["Task"] = []
         self.state = TaskState.PENDING
@@ -83,6 +97,21 @@ class Task:
     def execute(self) -> Any:
         raise NotImplementedError
 
+    def payload(self) -> Optional[Tuple[Callable[..., Any], tuple, dict]]:
+        """A picklable ``(func, args, kwargs)`` triple for out-of-process
+        execution, or ``None`` when the task can only run in-process.
+
+        :class:`ParallelTaskManager` ships the payload to a worker
+        process and feeds the return value to :meth:`apply_result` on
+        the parent-side task object.  The default is ``None`` (run
+        inline).
+        """
+        return None
+
+    def apply_result(self, result: Any) -> None:
+        """Install the worker-returned value onto this (parent-side) task."""
+        self.result = result
+
     @property
     def done(self) -> bool:
         return self.state in _TERMINAL
@@ -102,14 +131,18 @@ class FunctionTask(Task):
         kwargs: Optional[Dict[str, Any]] = None,
         resources: Optional[Dict[str, int]] = None,
         condition: Optional[Callable[[], bool]] = None,
+        timeout: Optional[float] = None,
     ):
-        super().__init__(name, resources, condition)
+        super().__init__(name, resources, condition, timeout)
         self.func = func
         self.args = tuple(args)
         self.kwargs = dict(kwargs or {})
 
     def execute(self) -> Any:
         return self.func(*self.args, **self.kwargs)
+
+    def payload(self) -> Optional[Tuple[Callable[..., Any], tuple, dict]]:
+        return (self.func, self.args, self.kwargs)
 
 
 class ProcessTask(Task):
@@ -123,27 +156,60 @@ class ProcessTask(Task):
         condition: Optional[Callable[[], bool]] = None,
         timeout: Optional[float] = None,
     ):
-        super().__init__(name, resources, condition)
+        super().__init__(name, resources, condition, timeout)
         self.command = list(command)
-        self.timeout = timeout
         self.stdout: Optional[str] = None
         self.stderr: Optional[str] = None
 
     def execute(self) -> int:
-        proc = subprocess.run(
-            self.command,
-            capture_output=True,
-            text=True,
-            timeout=self.timeout,
-        )
-        self.stdout = proc.stdout
-        self.stderr = proc.stderr
-        if proc.returncode != 0:
-            raise RuntimeError(
-                f"command {self.command!r} exited {proc.returncode}: "
-                f"{proc.stderr[-500:] if proc.stderr else ''}"
+        try:
+            returncode, self.stdout, self.stderr = _run_command(
+                self.command, self.timeout
             )
-        return proc.returncode
+        except CommandError as exc:
+            self.stdout, self.stderr = exc.stdout, exc.stderr
+            raise
+        return returncode
+
+    def payload(self) -> Optional[Tuple[Callable[..., Any], tuple, dict]]:
+        return (_run_command, (self.command, self.timeout), {})
+
+    def apply_result(self, result: Any) -> None:
+        self.result, self.stdout, self.stderr = result
+
+
+class CommandError(RuntimeError):
+    """A command exited nonzero; carries the captured output.
+
+    The positional-args construction keeps the exception picklable, so
+    it survives the trip back from a worker process intact.
+    """
+
+    def __init__(self, command, returncode, stdout, stderr):
+        super().__init__(command, returncode, stdout, stderr)
+        self.command = command
+        self.returncode = returncode
+        self.stdout = stdout
+        self.stderr = stderr
+
+    def __str__(self):
+        tail = self.stderr[-500:] if self.stderr else ""
+        return f"command {self.command!r} exited {self.returncode}: {tail}"
+
+
+def _run_command(
+    command: Sequence[str], timeout: Optional[float]
+) -> Tuple[int, str, str]:
+    """Run ``command``; module-level so it pickles for worker processes."""
+    proc = subprocess.run(
+        list(command),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    if proc.returncode != 0:
+        raise CommandError(command, proc.returncode, proc.stdout, proc.stderr)
+    return proc.returncode, proc.stdout, proc.stderr
 
 
 class ResourceManager:
@@ -347,3 +413,187 @@ class TaskManager:
         return all(
             t.state in (TaskState.SUCCEEDED, TaskState.SKIPPED) for t in self.tasks
         )
+
+
+class TaskTimeout(RuntimeError):
+    """A task exceeded its ``timeout`` under :class:`ParallelTaskManager`."""
+
+
+class ParallelTaskManager(TaskManager):
+    """Dependency-ordered execution across a pool of worker *processes*.
+
+    Unlike :class:`TaskManager`'s thread pool (which serializes
+    CPU-bound Python on the GIL), this manager ships each ready task's
+    :meth:`Task.payload` to a ``ProcessPoolExecutor`` worker and applies
+    the returned value to the parent-side task.  This is the engine
+    behind ``Sweep.run(workers=N)``: each simulation runs in its own
+    process and only the collected result rows travel back.
+
+    Semantics:
+
+    * Dependency edges, conditions, resources, and failure propagation
+      match :class:`TaskManager` exactly.
+    * A task whose payload is ``None`` or does not pickle (e.g. a
+      closure over live objects) runs *inline* in the parent process --
+      the graph still completes, it just doesn't parallelize that task.
+    * ``task.timeout`` is enforced by deadline: an overdue task is
+      marked FAILED with :class:`TaskTimeout` and its future abandoned
+      (a running worker cannot be interrupted portably mid-payload; the
+      late result is discarded, and any worker still chewing on an
+      abandoned payload is terminated once the rest of the graph is
+      done).
+    * The returned ``{name: state}`` dict and all task results are in
+      task-insertion order regardless of completion order, so parallel
+      runs are observationally deterministic.
+
+    Workers are started with the ``spawn`` method: forking a process
+    that holds live simulator state is a rich source of latent bugs,
+    and spawn behaves identically across platforms.
+    """
+
+    def __init__(
+        self,
+        resources: Optional[Dict[str, int]] = None,
+        num_workers: Optional[int] = None,
+        observer: Optional[Callable[[Task], None]] = None,
+    ):
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        super().__init__(resources, num_workers, observer)
+
+    def run(self) -> Dict[str, TaskState]:
+        import concurrent.futures as cf
+        import multiprocessing
+
+        self._check_acyclic()
+        mp_context = multiprocessing.get_context("spawn")
+
+        def cancel_dependents(task: Task) -> None:
+            for dependent in task.dependents:
+                if not dependent.done:
+                    dependent.state = TaskState.CANCELLED
+                    self._notify(dependent)
+                    cancel_dependents(dependent)
+
+        def finish(task: Task, state: TaskState) -> None:
+            task.state = state
+            self.resource_manager.release(task)
+            if state == TaskState.FAILED:
+                cancel_dependents(task)
+            self._notify(task)
+
+        running: Dict[Any, Task] = {}  # future -> task
+        deadlines: Dict[Any, float] = {}  # future -> monotonic deadline
+        abandoned: set = set()  # timed-out futures whose results we drop
+
+        pool = cf.ProcessPoolExecutor(
+            max_workers=self.num_workers, mp_context=mp_context
+        )
+        try:
+            while True:
+                # Launch every task that became ready.
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for task in self.tasks:
+                        if task.done or task.state == TaskState.RUNNING:
+                            continue
+                        if any(
+                            d.state in (TaskState.FAILED, TaskState.CANCELLED)
+                            for d in task.dependencies
+                        ):
+                            task.state = TaskState.CANCELLED
+                            self._notify(task)
+                            cancel_dependents(task)
+                            progressed = True
+                            continue
+                        if not all(
+                            d.state in (TaskState.SUCCEEDED, TaskState.SKIPPED)
+                            for d in task.dependencies
+                        ):
+                            continue
+                        if task.condition is not None and not task.condition():
+                            task.state = TaskState.SKIPPED
+                            self._notify(task)
+                            progressed = True
+                            continue
+                        if not self.resource_manager.try_acquire(task):
+                            continue
+                        task.state = TaskState.RUNNING
+                        progressed = True
+                        payload = task.payload()
+                        if payload is not None:
+                            try:
+                                pickle.dumps(payload)
+                            except Exception:
+                                payload = None
+                        if payload is None:
+                            # Not parallelizable: run inline.
+                            try:
+                                task.result = task.execute()
+                                finish(task, TaskState.SUCCEEDED)
+                            except BaseException as exc:  # noqa: BLE001
+                                task.error = exc
+                                finish(task, TaskState.FAILED)
+                            continue
+                        func, args, kwargs = payload
+                        future = pool.submit(func, *args, **kwargs)
+                        running[future] = task
+                        if task.timeout is not None:
+                            deadlines[future] = time.monotonic() + task.timeout
+
+                if not running:
+                    if all(t.done for t in self.tasks):
+                        break
+                    if not any(t.state == TaskState.RUNNING for t in self.tasks):
+                        # Nothing running, nothing launchable: deadlock
+                        # (shouldn't happen with validated resources).
+                        stuck = [t.name for t in self.tasks if not t.done]
+                        raise TaskError(f"no runnable tasks among {stuck}")
+
+                # Wait for a completion (or the nearest deadline).
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _ = cf.wait(
+                    set(running) | abandoned,
+                    timeout=wait_timeout,
+                    return_when=cf.FIRST_COMPLETED,
+                )
+                for future in done:
+                    if future in abandoned:
+                        abandoned.discard(future)
+                        continue
+                    task = running.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        task.apply_result(future.result())
+                        finish(task, TaskState.SUCCEEDED)
+                    except BaseException as exc:  # noqa: BLE001
+                        task.error = exc
+                        finish(task, TaskState.FAILED)
+                now = time.monotonic()
+                for future, deadline in list(deadlines.items()):
+                    if now > deadline and future in running:
+                        task = running.pop(future)
+                        deadlines.pop(future, None)
+                        if not future.cancel():
+                            abandoned.add(future)
+                        task.error = TaskTimeout(
+                            f"task {task.name!r} exceeded {task.timeout}s"
+                        )
+                        finish(task, TaskState.FAILED)
+        finally:
+            if abandoned:
+                # Workers still chewing on timed-out payloads would
+                # block a clean shutdown indefinitely; everything we
+                # still care about has completed, so put them down
+                # first -- the pool notices the dead workers, marks
+                # itself broken, and shutdown returns promptly.
+                for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                    proc.terminate()
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        return {task.name: task.state for task in self.tasks}

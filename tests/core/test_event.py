@@ -33,3 +33,65 @@ def test_repr_mentions_handler():
 
     event = Event(my_handler, data=7)
     assert "my_handler" in repr(event)
+
+
+def test_cancel_after_fire_is_noop():
+    simulator = Simulator()
+    fired = []
+    handle = simulator.call_at(5, lambda e: fired.append(True))
+    simulator.run()
+    assert fired == [True]
+    assert handle.fired
+    handle.cancel()
+    assert not handle.cancelled
+
+
+def test_freelist_reuse_increments_generation():
+    simulator = Simulator()
+    seen = []
+
+    def handler(event):
+        seen.append((id(event), event.generation))
+
+    simulator.call_at(1, handler)
+    simulator.run()
+    assert simulator.recycled_events == 1
+    simulator.call_at(2, handler)
+    # The pooled object was handed back out...
+    assert simulator.recycled_events == 0
+    simulator.run()
+    # ...same object, next generation.
+    assert seen[1][0] == seen[0][0]
+    assert seen[1][1] == seen[0][1] + 1
+
+
+def test_stale_cancel_cannot_kill_unrelated_reuse():
+    """Regression: a stale handle's cancel() must never cancel a later
+    scheduling.
+
+    Recycling is refcount-gated, so an event we still hold a handle to
+    is never reused -- and cancel() on the fired handle is a no-op.
+    """
+    simulator = Simulator()
+    runs = []
+    handle = simulator.call_at(1, lambda e: runs.append("a"))
+    simulator.run()
+    # We hold `handle`, so the engine refused to recycle it:
+    fresh = simulator.call_at(2, lambda e: runs.append("b"))
+    assert fresh is not handle
+    handle.cancel()  # stale cancel of the fired event: no-op
+    assert not fresh.cancelled
+    simulator.run()
+    assert runs == ["a", "b"]
+
+
+def test_cancel_before_fire_still_works_with_freelist():
+    simulator = Simulator()
+    runs = []
+    simulator.call_at(1, lambda e: runs.append("warm"))
+    simulator.run()  # park one event in the pool
+    victim = simulator.call_at(2, lambda e: runs.append("victim"))
+    victim.cancel()
+    simulator.call_at(3, lambda e: runs.append("kept"))
+    simulator.run()
+    assert runs == ["warm", "kept"]

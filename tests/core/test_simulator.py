@@ -178,3 +178,107 @@ def test_run_observer_called(simulator):
     simulator.call_at(4, lambda e: None)
     simulator.run()
     assert calls == [4]
+
+
+# -- pending_events / compaction (lazy-delete accounting) ---------------------
+
+
+def test_pending_events_excludes_cancelled(simulator):
+    events = [simulator.call_at(i + 1, lambda e: None) for i in range(4)]
+    events[0].cancel()
+    events[1].cancel()
+    assert simulator.queue_size == 4  # raw length keeps the dead entries
+    assert simulator.pending_events == 2
+
+
+def test_compaction_triggers_on_cancel_threshold():
+    simulator = Simulator()
+    keep = [simulator.call_at(1000 + i, lambda e: None) for i in range(10)]
+    victims = [
+        simulator.call_at(i + 1, lambda e: None)
+        for i in range(Simulator.COMPACT_MIN_CANCELLED + 10)
+    ]
+    for victim in victims:
+        victim.cancel()
+    # The threshold crossing compacted the heap mid-way through.
+    assert simulator.compactions == 1
+    assert simulator.pending_events == len(keep)
+    assert simulator.queue_size < len(keep) + len(victims)
+    simulator.run()
+    assert simulator.executed_events == len(keep)
+
+
+def test_manual_compact_reports_dropped(simulator):
+    events = [simulator.call_at(i + 1, lambda e: None) for i in range(6)]
+    for event in events[:3]:
+        event.cancel()
+    dropped = simulator.compact()
+    assert dropped == 3
+    assert simulator.queue_size == 3
+    assert simulator.pending_events == 3
+    simulator.run()
+    assert simulator.executed_events == 3
+
+
+# -- per-run limit semantics ---------------------------------------------------
+
+
+def test_max_events_budget_is_per_run(simulator):
+    order = []
+    for tick in range(1, 7):
+        simulator.call_at(tick, lambda e, t=tick: order.append(t))
+    simulator.run(max_events=2)
+    assert order == [1, 2]
+    # A resumed run gets a fresh budget, not the leftovers of a global
+    # counter.
+    simulator.run(max_events=2)
+    assert order == [1, 2, 3, 4]
+    simulator.run()
+    assert order == [1, 2, 3, 4, 5, 6]
+
+
+def test_max_seconds_generous_deadline_completes(simulator):
+    for tick in range(1, 5):
+        simulator.call_at(tick, lambda e: None)
+    simulator.run(max_seconds=60.0)
+    assert simulator.pending_events == 0
+    assert simulator.executed_events == 4
+
+
+# -- engine internals guard rails ---------------------------------------------
+
+
+def test_epsilon_beyond_packed_limit_rejected(simulator):
+    from repro.core.simulator import EPSILON_LIMIT
+
+    with pytest.raises(SimulationError):
+        simulator.call_at(1, lambda e: None, epsilon=EPSILON_LIMIT)
+    with pytest.raises(SimulationError):
+        simulator.add_event(Event(lambda e: None), 1, epsilon=EPSILON_LIMIT)
+
+
+def test_pool_disabled_never_recycles():
+    simulator = Simulator(event_pool_size=0)
+    for i in range(10):
+        simulator.call_at(i + 1, lambda e: None)
+    simulator.run()
+    assert simulator.recycled_events == 0
+    assert simulator.executed_events == 10
+
+
+def test_index_error_in_handler_propagates(simulator):
+    def bad(event):
+        [].pop()
+
+    simulator.call_at(1, bad)
+    with pytest.raises(IndexError):
+        simulator.run()
+
+
+def test_index_error_in_handler_propagates_with_max_time(simulator):
+    def bad(event):
+        raise IndexError("from handler")
+
+    simulator.call_at(1, bad)
+    with pytest.raises(IndexError, match="from handler"):
+        simulator.run(max_time=100)
