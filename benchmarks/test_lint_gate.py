@@ -1,0 +1,49 @@
+"""Lint gate over every benchmark configuration.
+
+Before any figure regeneration burns simulation time, every config the
+benchmark suite runs must lint clean: zero error-severity findings at
+the config layer, and zero at the graph layer for the scaled-down
+study configs (the full-scale Table I systems are checked config-only
+to keep the gate in the quick tier -- their construction is covered by
+``test_table1_configs``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.configs import (
+    blast_pulse_config,
+    credit_accounting_config,
+    flow_control_config,
+    latent_congestion_config,
+    table1,
+)
+from repro.lint import lint_config_dict
+
+pytestmark = pytest.mark.perf
+
+_STUDY_BUILDERS = [
+    blast_pulse_config,
+    credit_accounting_config,
+    flow_control_config,
+    latent_congestion_config,
+]
+
+
+@pytest.mark.parametrize(
+    "builder", _STUDY_BUILDERS, ids=lambda b: b.__name__
+)
+def test_study_config_lints_clean(builder):
+    report = lint_config_dict(
+        builder(), subject=builder.__name__, max_pairs=128
+    )
+    assert not report.has_errors(), report.render_text()
+
+
+@pytest.mark.parametrize("column", sorted(table1()))
+def test_table1_config_lints_clean(column):
+    report = lint_config_dict(
+        table1()[column], graph=False, subject=f"table1:{column}"
+    )
+    assert not report.has_errors(), report.render_text()

@@ -237,7 +237,28 @@ def main():
                         help="markdown output file (default: stdout)")
     parser.add_argument("--workers", type=int, default=os.cpu_count(),
                         help="worker processes (default: all cores)")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the preflight lint of the grid configs")
     args = parser.parse_args()
+
+    if not args.no_lint:
+        # Preflight: lint every base config before committing ~30 min
+        # of simulation time to the grid.
+        from repro.lint import lint_config_dict
+
+        failed = False
+        for builder in (blast_pulse_config, latent_congestion_config,
+                        credit_accounting_config, flow_control_config):
+            report = lint_config_dict(
+                builder(), subject=builder.__name__, max_pairs=128
+            )
+            if report.findings:
+                print(report.render_text(), file=sys.stderr)
+            failed = failed or report.has_errors()
+        if failed:
+            print("preflight lint found errors; not running the grid",
+                  file=sys.stderr)
+            return 1
 
     start = time.time()
     lines = ["# Experiment grid output", ""]
@@ -259,4 +280,4 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

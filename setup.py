@@ -18,5 +18,7 @@ setup(
         "supersim = repro.__main__:main",
         "ssparse = repro.tools.cli:ssparse_main",
         "ssplot = repro.tools.cli:ssplot_main",
+        "sssweep = repro.tools.cli:sssweep_main",
+        "sslint = repro.tools.sslint:sslint_main",
     ]},
 )

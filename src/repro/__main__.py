@@ -59,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a progress line every TICKS simulated ticks",
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="lint the resolved config before simulating; abort on "
+        "error-severity findings (see docs/LINTING.md)",
+    )
+    parser.add_argument(
+        "--lint-only",
+        action="store_true",
+        help="lint the resolved config and exit without simulating",
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="SHORT=path=type=v1,v2,...",
@@ -96,6 +107,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides.append(f"simulator.monitor.period=uint={args.progress}")
         overrides.append("simulator.monitor.print=bool=true")
     settings = Settings.from_file(args.config, overrides)
+    if args.lint or args.lint_only:
+        from repro.lint import lint_settings
+
+        report = lint_settings(settings, subject=args.config)
+        if report.findings or args.lint_only:
+            print(report.render_text(), file=sys.stderr)
+        if args.lint_only:
+            return 1 if report.has_errors() else 0
+        if report.has_errors():
+            print("lint found errors; not simulating", file=sys.stderr)
+            return 1
     simulation = Simulation(settings)
     results = simulation.run(max_time=args.max_time)
     summary = results.summary()

@@ -27,10 +27,13 @@ import copy
 import json
 import pathlib
 import re
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+from repro.config.suggest import did_you_mean
 
 _INCLUDE_RE = re.compile(r"^\$include\((?P<path>[^)]+)\)$")
 _REF_RE = re.compile(r"^\$ref\((?P<path>[^)]+)\)$")
+_BRACKET_RE = re.compile(r"\[(\d+)\]")
 
 JsonValue = Union[None, bool, int, float, str, list, dict]
 
@@ -57,6 +60,10 @@ def parse_override(text: str) -> Tuple[List[str], JsonValue]:
     """Parse one ``path=type=value`` command line override.
 
     Returns ``(path_components, value)``.
+
+    Numeric list indices may be written either dotted or bracketed:
+    ``workload.applications.0.type`` and ``workload.applications[0].type``
+    name the same leaf.
 
     >>> parse_override("network.concentration=uint=16")
     (['network', 'concentration'], 16)
@@ -91,7 +98,12 @@ def parse_override(text: str) -> Tuple[List[str], JsonValue]:
             value = _OVERRIDE_PARSERS[type_name](value_text)
         except (ValueError, json.JSONDecodeError) as exc:
             raise SettingsError(f"bad {type_name} value in {text!r}: {exc}") from exc
-    return path_text.split("."), value
+    return split_path(path_text), value
+
+
+def split_path(path_text: str) -> List[str]:
+    """Split a dotted override path, normalizing ``a[0].b`` to ``a.0.b``."""
+    return _BRACKET_RE.sub(r".\1", path_text).split(".")
 
 
 def apply_override(root: dict, path: List[str], value: JsonValue) -> None:
@@ -273,7 +285,10 @@ class Settings:
         if key in self._data:
             return self._data[key]
         if default is self._MISSING:
-            raise SettingsError(f"missing required setting {self._where(key)!r}")
+            raise SettingsError(
+                f"missing required setting {self._where(key)!r}"
+                f"{did_you_mean(key, self._data)}"
+            )
         return default
 
     def get_int(self, key: str, default: Any = _MISSING) -> int:
@@ -343,7 +358,10 @@ class Settings:
         """
         if key not in self._data:
             if default is self._MISSING:
-                raise SettingsError(f"missing settings block {self._where(key)!r}")
+                raise SettingsError(
+                    f"missing settings block {self._where(key)!r}"
+                    f"{did_you_mean(key, self._data)}"
+                )
             return Settings(copy.deepcopy(default), self._where(key))
         value = self._data[key]
         if not isinstance(value, dict):

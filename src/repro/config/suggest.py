@@ -1,0 +1,24 @@
+"""Did-you-mean suggestions for configuration keys and model names.
+
+Shared by :class:`~repro.config.settings.Settings` error messages and
+the ``repro.lint`` rule engine, so a typo'd key produces the same
+suggestion whether it surfaces at construction time or from ``sslint``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Optional
+
+
+def closest(name: str, candidates: Iterable[str], cutoff: float = 0.6) -> Optional[str]:
+    """The best near-match for ``name`` among ``candidates``, or None."""
+    matches = difflib.get_close_matches(str(name), [str(c) for c in candidates],
+                                        n=1, cutoff=cutoff)
+    return matches[0] if matches else None
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """A ``"; did you mean 'x'?"`` suffix, or ``""`` when nothing is close."""
+    match = closest(name, candidates)
+    return f"; did you mean {match!r}?" if match else ""

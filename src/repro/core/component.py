@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.event import Event
-from repro.core.simtime import TimeStep
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.simulator import Simulator

@@ -1,0 +1,156 @@
+"""repro.lint: static analysis of experiments before they run.
+
+Three layers of checks, all runnable without simulating a single tick:
+
+* **config** (C001..C009) -- validates the Settings tree against a
+  declarative schema (types, ranges, unknown keys with did-you-mean)
+  plus cross-field constraints (VC disciplines, credit/buffer-depth
+  arithmetic).
+* **graph** (G001..G006) -- constructs the network (construction is
+  event-free), checks port wiring, and traces the channel dependency
+  graph of the routing algorithm to detect deadlock-prone cycles.
+* **determinism** (D001..D005) -- AST checks over workload/model
+  source files (unseeded randomness, wall-clock reads, module-global
+  mutation) plus a runtime pickling check of parallel-sweep payloads.
+
+Entry points: ``sslint`` (CLI), ``supersim --lint``, and
+``sssweep``'s pre-fan-out gate.  See docs/LINTING.md for the rule
+catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.config.settings import Settings, SettingsError
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.rules import (
+    CONFIG_LAYER,
+    DETERMINISM_LAYER,
+    GRAPH_LAYER,
+    LintContext,
+    LintRule,
+    all_rule_ids,
+    rule_catalog,
+    run_rules,
+)
+
+ALL_LAYERS = (CONFIG_LAYER, GRAPH_LAYER, DETERMINISM_LAYER)
+
+__all__ = [
+    "ALL_LAYERS",
+    "CONFIG_LAYER",
+    "DETERMINISM_LAYER",
+    "GRAPH_LAYER",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "all_rule_ids",
+    "lint_config_dict",
+    "lint_settings",
+    "lint_sources",
+    "lint_sweep",
+    "rule_catalog",
+    "run_rules",
+]
+
+
+def lint_settings(
+    settings: Settings,
+    graph: bool = True,
+    max_pairs: int = 512,
+    subject: Optional[str] = None,
+) -> LintReport:
+    """Lint a resolved Settings tree (config layer, optionally graph).
+
+    The graph layer is skipped automatically when the config layer
+    reports errors: constructing a network from a config that is
+    already known-broken would only duplicate those errors as a G001.
+    """
+    ctx = LintContext(settings=settings, max_pairs=max_pairs)
+    report = run_rules(ctx, [CONFIG_LAYER], subject=subject)
+    if graph and not report.has_errors():
+        report.merge(run_rules(ctx, [GRAPH_LAYER], subject=subject))
+    return report
+
+
+def lint_config_dict(
+    config: dict,
+    overrides: Iterable[str] = (),
+    graph: bool = True,
+    max_pairs: int = 512,
+    subject: Optional[str] = None,
+) -> LintReport:
+    """Lint an in-memory config dict (resolving overrides first)."""
+    try:
+        settings = Settings.from_dict(config, overrides=overrides)
+    except SettingsError as exc:
+        report = LintReport(subject=subject)
+        report.add(
+            Finding(
+                "C002",
+                Severity.ERROR,
+                f"configuration does not resolve: {exc}",
+            )
+        )
+        return report
+    return lint_settings(
+        settings, graph=graph, max_pairs=max_pairs, subject=subject
+    )
+
+
+def lint_sources(
+    paths: Iterable[str], subject: Optional[str] = None
+) -> LintReport:
+    """Run the determinism AST rules over source files."""
+    ctx = LintContext(source_paths=list(paths))
+    return run_rules(ctx, [DETERMINISM_LAYER], subject=subject)
+
+
+def lint_sweep(
+    sweep,
+    graph: bool = False,
+    subject: Optional[str] = None,
+    max_jobs: int = 512,
+) -> LintReport:
+    """Lint a Sweep before fan-out: configs plus payload pickling.
+
+    Called by ``sssweep`` before any worker process spawns, so payload
+    problems surface with the sweep's name instead of as a worker-side
+    traceback (or, worse, a silent inline fallback).  Beyond the base
+    config, every job's *resolved* config is config-layer linted, so a
+    swept value that breaks a constraint (say, an odd ``num_vcs`` under
+    dateline routing) is reported with its sweep point id before any
+    simulation starts.
+    """
+    subject = subject or f"sweep:{sweep.name}"
+    report = lint_config_dict(
+        sweep.base_config, graph=graph, subject=subject
+    )
+    seen = {(f.rule_id, f.config_path, f.message) for f in report.findings}
+    jobs = sweep.jobs or sweep.generate_jobs()
+    if len(jobs) > max_jobs:
+        report.add(
+            Finding(
+                "D005",
+                Severity.INFO,
+                f"sweep has {len(jobs)} jobs; per-job config lint covers "
+                f"only the first {max_jobs}",
+            )
+        )
+    for job in jobs[:max_jobs]:
+        job_report = lint_config_dict(
+            sweep.base_config, overrides=job.overrides, graph=False
+        )
+        for finding in job_report.findings:
+            key = (finding.rule_id, finding.config_path, finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            finding.message = f"[{job.job_id}] {finding.message}"
+            report.add(finding)
+    ctx = LintContext(sweep=sweep)
+    report.merge(run_rules(ctx, [DETERMINISM_LAYER], subject=subject))
+    return report

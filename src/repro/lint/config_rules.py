@@ -1,0 +1,502 @@
+"""Config-layer lint rules (C001..C009).
+
+C001..C005 come out of a single declarative schema walk
+(:func:`walk_schema`); C006..C009 are cross-field rules connecting
+settings that live in different blocks but must agree -- the VC counts
+shared by routers, channels, and routing algorithms, and the credit /
+buffer-depth arithmetic of the paper's credit-accounting case study
+(§VI-B) turned into a static check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro import factory, models
+from repro.config.suggest import closest
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import CONFIG_LAYER, LintContext, LintRule
+from repro.lint.schema import (
+    TOPOLOGY_ROUTING,
+    BlockSpec,
+    KeySpec,
+    factory_base,
+    injection_vcs_for,
+    root_schema,
+    vc_constraint_error,
+)
+
+
+def _join(path: str, key: Any) -> str:
+    return f"{path}.{key}" if path else str(key)
+
+
+# ---------------------------------------------------------------------------
+# the schema walk (shared by rules C001..C005)
+# ---------------------------------------------------------------------------
+
+
+def walk_schema(raw: dict) -> Iterator[Finding]:
+    """Validate ``raw`` against the declarative schema.
+
+    Yields findings tagged C001 (unknown key), C002 (wrong type),
+    C003 (bad value), C004 (missing required setting/block), and
+    C005 (unknown model name).
+    """
+    models.load_all()  # populate the factory before validating selectors
+    yield from _walk_block(root_schema(), raw, "")
+
+
+def _walk_block(spec: BlockSpec, data: Any, path: str) -> Iterator[Finding]:
+    if spec.list_item is not None:
+        if not isinstance(data, list):
+            yield Finding(
+                "C002",
+                Severity.ERROR,
+                f"expected a list of blocks, got {type(data).__name__}",
+                config_path=path or "<root>",
+            )
+            return
+        for index, item in enumerate(data):
+            yield from _walk_block(spec.list_item, item, _join(path, index))
+        return
+
+    if not isinstance(data, dict):
+        yield Finding(
+            "C002",
+            Severity.ERROR,
+            f"expected a settings block (dict), got {type(data).__name__}",
+            config_path=path or "<root>",
+        )
+        return
+
+    known = set(spec.keys) | set(spec.children)
+    variant: Optional[BlockSpec] = None
+    open_block = spec.open
+
+    if spec.selector is not None:
+        selector_key, base_name = spec.selector
+        known.add(selector_key)
+        model = data.get(selector_key, spec.selector_default)
+        if model is None:
+            yield Finding(
+                "C004",
+                Severity.ERROR,
+                f"missing required setting {_join(path, selector_key)!r} "
+                f"(selects the {base_name} model)",
+                config_path=_join(path, selector_key),
+            )
+        elif not isinstance(model, str):
+            yield Finding(
+                "C002",
+                Severity.ERROR,
+                f"model selector must be a string, got {model!r}",
+                config_path=_join(path, selector_key),
+            )
+        else:
+            base = factory_base(base_name)
+            registered = factory.names(base)
+            if not factory.is_registered(base, model):
+                match = closest(model, registered)
+                yield Finding(
+                    "C005",
+                    Severity.ERROR,
+                    f"unknown {base_name} model {model!r}; "
+                    f"known: {registered}",
+                    config_path=_join(path, selector_key),
+                    suggestion=f"did you mean {match!r}?" if match else None,
+                )
+            else:
+                variant = spec.variant_for(model)
+                if variant is None:
+                    # A registered user model: its keys are unknowable.
+                    open_block = True
+
+    merged_keys: Dict[str, KeySpec] = dict(spec.keys)
+    merged_children: Dict[str, BlockSpec] = dict(spec.children)
+    if variant is not None:
+        merged_keys.update(variant.keys)
+        merged_children.update(variant.children)
+        known |= set(variant.keys) | set(variant.children)
+        open_block = open_block or variant.open
+
+    if not open_block:
+        for key in data:
+            if key not in known:
+                match = closest(key, known)
+                yield Finding(
+                    "C001",
+                    Severity.WARNING,
+                    f"unknown setting {_join(path, key)!r} "
+                    f"(silently ignored by the simulator)",
+                    config_path=_join(path, key),
+                    suggestion=f"did you mean {match!r}?" if match else None,
+                )
+
+    for name in spec.required_children:
+        if name not in data:
+            yield Finding(
+                "C004",
+                Severity.ERROR,
+                f"missing required settings block {_join(path, name)!r}",
+                config_path=_join(path, name),
+            )
+
+    for key, key_spec in merged_keys.items():
+        if key not in data:
+            if key_spec.required:
+                yield Finding(
+                    "C004",
+                    Severity.ERROR,
+                    f"missing required setting {_join(path, key)!r}",
+                    config_path=_join(path, key),
+                )
+            continue
+        yield from _check_value(key_spec, data[key], _join(path, key))
+
+    for key, child in merged_children.items():
+        if key in data:
+            yield from _walk_block(child, data[key], _join(path, key))
+
+
+_KIND_LABEL = {
+    "uint": "a non-negative integer",
+    "int": "an integer",
+    "float": "a number",
+    "str": "a string",
+    "bool": "a boolean",
+    "int_list": "a list of integers",
+    "list": "a list",
+    "any": "a value",
+}
+
+
+def _check_value(spec: KeySpec, value: Any, path: str) -> Iterator[Finding]:
+    if not spec.type_ok(value):
+        yield Finding(
+            "C002",
+            Severity.ERROR,
+            f"setting must be {_KIND_LABEL.get(spec.kind, spec.kind)}, "
+            f"got {value!r}",
+            config_path=path,
+        )
+        return
+    if value is None:
+        return
+    if spec.choices is not None and value not in spec.choices:
+        match = closest(str(value), spec.choices)
+        yield Finding(
+            "C003",
+            Severity.ERROR,
+            f"setting value {value!r} not in {list(spec.choices)}",
+            config_path=path,
+            suggestion=f"did you mean {match!r}?" if match else None,
+        )
+        return
+    minimum = spec.minimum
+    if spec.kind == "uint" and minimum is None:
+        minimum = 0
+    if spec.kind in ("uint", "int", "float") and minimum is not None:
+        if value < minimum:
+            yield Finding(
+                "C003",
+                Severity.ERROR,
+                f"setting value {value!r} below minimum {minimum}",
+                config_path=path,
+            )
+    if spec.kind in ("uint", "int", "float") and spec.maximum is not None:
+        if value > spec.maximum:
+            yield Finding(
+                "C003",
+                Severity.ERROR,
+                f"setting value {value!r} above maximum {spec.maximum}",
+                config_path=path,
+            )
+    if spec.kind == "int_list" and spec.minimum is not None:
+        for index, item in enumerate(value):
+            if item < spec.minimum:
+                yield Finding(
+                    "C003",
+                    Severity.ERROR,
+                    f"element {index} ({item}) below minimum {spec.minimum}",
+                    config_path=path,
+                )
+
+
+# ---------------------------------------------------------------------------
+# raw-config accessors shared by the cross-field rules
+# ---------------------------------------------------------------------------
+
+
+def _block(raw: dict, *path: str) -> dict:
+    node: Any = raw
+    for key in path:
+        if not isinstance(node, dict):
+            return {}
+        node = node.get(key, {})
+    return node if isinstance(node, dict) else {}
+
+
+def _value(raw: dict, *path: str, default: Any = None) -> Any:
+    node: Any = raw
+    for key in path[:-1]:
+        if not isinstance(node, dict):
+            return default
+        node = node.get(key, {})
+    if not isinstance(node, dict):
+        return default
+    return node.get(path[-1], default)
+
+
+def _is_uint(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+# ---------------------------------------------------------------------------
+# schema-walk rules
+# ---------------------------------------------------------------------------
+
+
+class _SchemaWalkRule(LintRule):
+    """Base for rules whose findings come out of the shared schema walk."""
+
+    layer = CONFIG_LAYER
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        return [f for f in ctx.schema_findings() if f.rule_id == self.rule_id]
+
+
+@factory.register(LintRule, "C001")
+class UnknownKeyRule(_SchemaWalkRule):
+    rule_id = "C001"
+    description = ("Unknown setting key: the simulator would silently ignore "
+                   "it (did-you-mean suggestion included)")
+
+
+@factory.register(LintRule, "C002")
+class WrongTypeRule(_SchemaWalkRule):
+    rule_id = "C002"
+    description = "Setting value has the wrong type for its key"
+
+
+@factory.register(LintRule, "C003")
+class BadValueRule(_SchemaWalkRule):
+    rule_id = "C003"
+    description = "Setting value out of range or not among the allowed choices"
+
+
+@factory.register(LintRule, "C004")
+class MissingRequiredRule(_SchemaWalkRule):
+    rule_id = "C004"
+    description = "Required setting or settings block is missing"
+
+
+@factory.register(LintRule, "C005")
+class UnknownModelRule(_SchemaWalkRule):
+    rule_id = "C005"
+    description = ("Model selector names no registered factory model "
+                   "(did-you-mean suggestion over the registry)")
+
+
+# ---------------------------------------------------------------------------
+# cross-field rules
+# ---------------------------------------------------------------------------
+
+
+@factory.register(LintRule, "C006")
+class RoutingTopologyRule(LintRule):
+    rule_id = "C006"
+    layer = CONFIG_LAYER
+    description = ("Routing algorithm is not compatible with the configured "
+                   "topology")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        from repro.routing.base import RoutingAlgorithm
+
+        raw = ctx.raw
+        topology = _value(raw, "network", "topology")
+        algorithm = _value(raw, "network", "routing", "algorithm")
+        if not isinstance(topology, str) or not isinstance(algorithm, str):
+            return []  # C004/C002 already cover the malformed cases
+        models.load_all()
+        if not factory.is_registered(RoutingAlgorithm, algorithm):
+            return []  # C005 covers it
+        if algorithm in TOPOLOGY_ROUTING.get(topology, ()):
+            return []
+        declared = getattr(
+            factory.lookup(RoutingAlgorithm, algorithm), "topology", None
+        )
+        if declared is not None and declared in ("*", topology):
+            return []
+        expected = TOPOLOGY_ROUTING.get(topology)
+        return [
+            Finding(
+                "C006",
+                Severity.ERROR,
+                f"routing algorithm {algorithm!r} is not compatible with "
+                f"topology {topology!r}"
+                + (f"; expected one of {list(expected)}" if expected else ""),
+                config_path="network.routing.algorithm",
+            )
+        ]
+
+
+@factory.register(LintRule, "C007")
+class VcConsistencyRule(LintRule):
+    rule_id = "C007"
+    layer = CONFIG_LAYER
+    description = ("VC counts inconsistent across routers, channels, and the "
+                   "routing algorithm's VC discipline")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raw = ctx.raw
+        findings: List[Finding] = []
+        network = _block(raw, "network")
+        num_vcs = network.get("num_vcs", 1)
+        algorithm = _value(raw, "network", "routing", "algorithm")
+        if not _is_uint(num_vcs) or num_vcs < 1:
+            return []  # C002/C003 cover it
+        if isinstance(algorithm, str):
+            error = vc_constraint_error(algorithm, num_vcs, network)
+            if error is not None:
+                findings.append(
+                    Finding(
+                        "C007",
+                        Severity.ERROR,
+                        error,
+                        config_path="network.num_vcs",
+                    )
+                )
+        injection_vcs = _value(raw, "network", "interface", "injection_vcs")
+        if isinstance(injection_vcs, list) and all(
+            _is_uint(v) for v in injection_vcs
+        ):
+            out_of_range = [v for v in injection_vcs if v >= num_vcs]
+            if out_of_range:
+                findings.append(
+                    Finding(
+                        "C007",
+                        Severity.ERROR,
+                        f"interface injection VCs {out_of_range} out of range "
+                        f"[0, {num_vcs})",
+                        config_path="network.interface.injection_vcs",
+                    )
+                )
+            elif isinstance(algorithm, str):
+                allowed = injection_vcs_for(algorithm, num_vcs)
+                if allowed is not None:
+                    outside = sorted(set(injection_vcs) - set(allowed))
+                    if outside:
+                        findings.append(
+                            Finding(
+                                "C007",
+                                Severity.WARNING,
+                                f"interface injects on VCs {outside}, outside "
+                                f"the injection class {allowed} declared by "
+                                f"{algorithm!r}; its deadlock-avoidance "
+                                f"scheme may be void",
+                                config_path="network.interface.injection_vcs",
+                            )
+                        )
+        return findings
+
+
+@factory.register(LintRule, "C008")
+class CreditBufferDepthRule(LintRule):
+    rule_id = "C008"
+    layer = CONFIG_LAYER
+    description = ("Packet-granularity flow control needs whole-packet credit "
+                   "up front: max_packet_size must not exceed the downstream "
+                   "buffer depth (paper §VI-B/§VI-C as a static check)")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raw = ctx.raw
+        router = _block(raw, "network", "router")
+        flow_control = _value(
+            raw, "network", "router", "crossbar_scheduler", "flow_control",
+            default="flit_buffer",
+        )
+        if flow_control != "packet_buffer":
+            return []
+        architecture = router.get("architecture")
+        max_packet = _value(
+            raw, "network", "interface", "max_packet_size", default=16
+        )
+        if not _is_uint(max_packet):
+            return []
+        # The credit pool the crossbar checks against a whole packet:
+        # IQ bids drain toward the downstream router's input buffer (or
+        # the interface's ejection buffer on the last hop); IOQ bids
+        # drain into the router's own output queue.
+        pools: List[tuple] = []
+        if architecture == "input_output_queued":
+            depth = router.get("output_queue_depth", 64)
+            pools.append(("network.router.output_queue_depth", depth))
+        else:
+            depth = router.get("input_queue_depth", 16)
+            pools.append(("network.router.input_queue_depth", depth))
+            ejection = _value(
+                raw, "network", "interface", "ejection_buffer_size", default=64
+            )
+            pools.append(("network.interface.ejection_buffer_size", ejection))
+        findings: List[Finding] = []
+        for path, depth in pools:
+            if not _is_uint(depth):
+                continue
+            if max_packet > depth:
+                findings.append(
+                    Finding(
+                        "C008",
+                        Severity.ERROR,
+                        f"packet_buffer flow control requires whole-packet "
+                        f"credit: a {max_packet}-flit packet can never fit "
+                        f"the {depth}-flit buffer at {path} -- the crossbar "
+                        f"would stall such packets forever",
+                        config_path=path,
+                    )
+                )
+        return findings
+
+
+@factory.register(LintRule, "C009")
+class EjectionBandwidthDelayRule(LintRule):
+    rule_id = "C009"
+    layer = CONFIG_LAYER
+    description = ("Ejection buffer smaller than the terminal channel's "
+                   "bandwidth-delay product caps throughput below line rate")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        raw = ctx.raw
+        interface_type = _value(
+            raw, "network", "interface", "type", default="standard"
+        )
+        if interface_type != "standard":
+            return []
+        ejection = _value(
+            raw, "network", "interface", "ejection_buffer_size", default=64
+        )
+        latency = _value(
+            raw, "network", "terminal_channel_latency", default=1
+        )
+        period = _value(raw, "network", "channel_period", default=1)
+        if not (_is_uint(ejection) and _is_uint(latency) and _is_uint(period)):
+            return []
+        if period < 1:
+            return []
+        # Round trip: flit down (latency) + credit back (latency), at one
+        # flit per channel period.
+        needed = math.ceil(2 * latency / period)
+        if ejection >= needed:
+            return []
+        return [
+            Finding(
+                "C009",
+                Severity.WARNING,
+                f"ejection_buffer_size {ejection} is below the terminal "
+                f"channel's bandwidth-delay product ({needed} flits for a "
+                f"{latency}-tick channel at one flit per {period} ticks): "
+                f"ejection will cap accepted throughput below line rate",
+                config_path="network.interface.ejection_buffer_size",
+            )
+        ]

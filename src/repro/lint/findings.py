@@ -1,0 +1,147 @@
+"""Lint findings: severities, a single finding, and the report.
+
+Every check in :mod:`repro.lint` reports its results as
+:class:`Finding` objects carrying a stable rule id (``C00x`` config
+layer, ``G00x`` graph layer, ``D00x`` determinism layer), a severity,
+a human-readable message, and a location -- either a dotted config path
+or a ``file:line`` source location.  :class:`LintReport` aggregates
+findings and renders them as text or machine-readable JSON (the CI
+format).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings mean the experiment is broken (it will crash, hang,
+    or silently compute the wrong thing); WARNING findings are likely
+    mistakes; INFO findings are observations worth knowing (e.g. a
+    topology with intentionally unused ports).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    __slots__ = ("rule_id", "severity", "message", "config_path", "location",
+                 "suggestion")
+
+    def __init__(
+        self,
+        rule_id: str,
+        severity: Severity,
+        message: str,
+        config_path: Optional[str] = None,
+        location: Optional[str] = None,
+        suggestion: Optional[str] = None,
+    ):
+        self.rule_id = rule_id
+        self.severity = severity
+        self.message = message
+        self.config_path = config_path
+        self.location = location
+        self.suggestion = suggestion
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.config_path is not None:
+            data["config_path"] = self.config_path
+        if self.location is not None:
+            data["location"] = self.location
+        if self.suggestion is not None:
+            data["suggestion"] = self.suggestion
+        return data
+
+    def render(self) -> str:
+        where = self.location or self.config_path
+        prefix = f"{where}: " if where else ""
+        tail = f" ({self.suggestion})" if self.suggestion else ""
+        return (
+            f"{self.severity.value}[{self.rule_id}] {prefix}{self.message}{tail}"
+        )
+
+    def __repr__(self):
+        return f"Finding({self.rule_id}, {self.severity.value}, {self.message!r})"
+
+
+class LintReport:
+    """An ordered collection of findings with render/export helpers."""
+
+    def __init__(self, subject: Optional[str] = None):
+        self.subject = subject
+        self.findings: List[Finding] = []
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings ordered worst-first, stable within a severity."""
+        return sorted(
+            self.findings,
+            key=lambda f: (f.severity.rank, f.rule_id),
+        )
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    def to_json(self, indent: int = 2) -> str:
+        payload: Dict[str, Any] = {
+            "subject": self.subject,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        if self.subject:
+            lines.append(f"== {self.subject} ==")
+        for finding in self.sorted_findings():
+            lines.append(finding.render())
+        counts = self.counts()
+        lines.append(
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,472 @@
+"""Graph-layer lint (G001..G006): inspect the network without running it.
+
+Network construction in this code base is entirely event-free (the
+Network constructor builds every router, interface, and channel and
+``finalize()`` builds the per-port routing engines), so the linter can
+instantiate the full machine, probe its wiring, and exercise the
+routing algorithms *statically* -- no simulation events ever fire.
+
+The centerpiece is the **channel dependency graph** (CDG) in the sense
+of Dally & Seitz: nodes are ``(channel, vc)`` pairs and an edge A->B
+means a packet holding A may next request B.  The linter derives the
+edges by replaying each routing algorithm's ``respond()`` over a
+sampled set of source/destination pairs, following every candidate the
+algorithm may return.  Two graphs are kept:
+
+* the *full* graph over every candidate, and
+* the *escape* graph over only the least-preferred (fallback)
+  candidate of each response -- the path a packet can always take when
+  everything else is congested.
+
+A cycle in the escape graph means the routing algorithm is
+deadlock-prone (G004, error).  A cycle only in the full graph is
+reported as info (G005): adaptive algorithms are routinely cyclic in
+their adaptive class and rely on an acyclic escape class (Duato's
+criterion).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro import factory, models
+from repro.config.settings import Settings, SettingsError
+from repro.core.rng import RandomManager
+from repro.core.simulator import Simulator
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import GRAPH_LAYER, LintContext, LintRule
+from repro.net.interface import Interface
+from repro.net.network import Network
+from repro.router.base import Router
+from repro.routing.base import RoutingError
+
+Node = Tuple[str, int]  # (channel full name, vc)
+
+
+def _state_signature(packet) -> Tuple:
+    """Hashable digest of the routing-relevant packet state."""
+    return (
+        packet.destination,
+        packet.intermediate,
+        packet.non_minimal,
+        tuple(sorted(packet.routing_state.items())),
+    )
+
+
+class GraphAnalysis:
+    """Construct the network and trace its channel dependency graph."""
+
+    def __init__(self, settings: Optional[Settings], max_pairs: int = 512):
+        self.constructed = False
+        self.construction_error: Optional[str] = None
+        self.network: Optional[Network] = None
+        self.unwired_ports: List[Tuple[str, int]] = []
+        self.response_errors: List[str] = []
+        self.trace_warnings: List[str] = []
+        self.truncated = False
+        self.full_edges: Dict[Node, Set[Node]] = {}
+        self.escape_edges: Dict[Node, Set[Node]] = {}
+        self.full_cycle: Optional[List[Node]] = None
+        self.escape_cycle: Optional[List[Node]] = None
+        self.pairs_traced = 0
+        if settings is None:
+            self.construction_error = "no settings provided"
+            return
+        self._run(settings, max_pairs)
+
+    # -- construction --------------------------------------------------------
+
+    def _run(self, settings: Settings, max_pairs: int) -> None:
+        import repro.net.message as message_mod
+        import repro.net.packet as packet_mod
+
+        # Tracing creates Message/Packet objects, which advance the
+        # module-global id counters that feed deterministic VC rotation
+        # (e.g. DOR's ``global_id % len(vcs)``).  Restore them so a lint
+        # pass before a simulation does not perturb its results.
+        saved_packet = next(packet_mod._global_packet_ids)
+        saved_message = next(message_mod._global_message_ids)
+        try:
+            self._build(settings)
+            if self.network is not None:
+                self._scan_ports()
+                self._trace(max_pairs)
+                self.full_cycle = _find_cycle(self.full_edges)
+                self.escape_cycle = _find_cycle(self.escape_edges)
+        finally:
+            packet_mod._global_packet_ids = itertools.count(saved_packet)
+            message_mod._global_message_ids = itertools.count(saved_message)
+
+    def _build(self, settings: Settings) -> None:
+        models.load_all()
+        try:
+            network_settings = settings.child("network")
+            topology = network_settings.get_str("topology")
+            seed = settings.child("simulator", default={}).get_uint(
+                "seed", 12345
+            )
+            simulator = Simulator()
+            random_manager = RandomManager(seed)
+            self.network = factory.create(
+                Network,
+                topology,
+                simulator,
+                "network",
+                None,
+                network_settings,
+                random_manager,
+            )
+            self.constructed = True
+        except Exception as exc:  # construction must never crash the linter
+            self.construction_error = f"{type(exc).__name__}: {exc}"
+            self.network = None
+
+    def _scan_ports(self) -> None:
+        assert self.network is not None
+        for router in self.network.routers:
+            for port in range(router.num_ports):
+                if not router.port_is_wired(port):
+                    self.unwired_ports.append((router.full_name, port))
+
+    # -- channel dependency trace --------------------------------------------
+
+    def _sample_pairs(self, max_pairs: int) -> List[Tuple[int, int]]:
+        assert self.network is not None
+        n = self.network.num_terminals
+        total = n * (n - 1)
+        if total <= 0:
+            return []
+
+        def pair(index: int) -> Tuple[int, int]:
+            src, k = divmod(index, n - 1)
+            dst = k if k < src else k + 1
+            return src, dst
+
+        if total <= max_pairs:
+            return [pair(i) for i in range(total)]
+        # Deterministic strided sample across the src x dst product.
+        return [pair(i * total // max_pairs) for i in range(max_pairs)]
+
+    def _trace(self, max_pairs: int) -> None:
+        assert self.network is not None
+        network = self.network
+        budget_per_pair = max(64, 50 * max(1, network.num_routers))
+        for src, dst in self._sample_pairs(max_pairs):
+            self._trace_pair(src, dst, budget_per_pair)
+            self.pairs_traced += 1
+
+    def _trace_pair(self, src: int, dst: int, budget: int) -> None:
+        from repro.net.message import Message
+
+        network = self.network
+        assert network is not None
+        interface = network.interfaces[src]
+        packet = Message(0, src, dst, 1).packetize(1)[0]
+        channel = interface._flit_out[0]
+        if channel is None or channel.sink is None:
+            return  # construction already validates terminal wiring
+        router = channel.sink
+        in_port = channel.sink_port
+        injection_vcs = list(
+            getattr(interface, "injection_vcs", None)
+            or network.routing_class.injection_vcs(network.num_vcs)
+        )
+
+        visited: Set[Tuple] = set()
+        queue: List[Tuple[Any, int, int, Any, Node]] = []
+        for vc in injection_vcs:
+            node = (channel.full_name, vc)
+            queue.append((router, in_port, vc, self._clone(packet), node))
+
+        expansions = 0
+        while queue:
+            device, port, vc, pkt, cur_node = queue.pop()
+            if not isinstance(device, Router):
+                continue
+            key = (device.full_name, port, vc, _state_signature(pkt))
+            if key in visited:
+                continue
+            visited.add(key)
+            expansions += 1
+            if expansions > budget:
+                self.truncated = True
+                self.trace_warnings.append(
+                    f"dependency trace for pair {src}->{dst} exceeded the "
+                    f"expansion budget ({budget}); cycle analysis may be "
+                    f"incomplete"
+                )
+                return
+            self._expand(device, port, vc, pkt, cur_node, queue)
+
+    def _expand(
+        self,
+        router: Router,
+        in_port: int,
+        in_vc: int,
+        pkt,
+        cur_node: Node,
+        queue: List,
+    ) -> None:
+        probe = self._clone(pkt)
+        try:
+            engine = router.routing_algorithm(in_port)
+            response = engine.respond(probe, in_vc)
+        except RoutingError as exc:
+            self.response_errors.append(str(exc))
+            return
+        if not response:
+            self.response_errors.append(
+                f"{router.full_name}: routing returned no candidates for "
+                f"packet to terminal {probe.destination} on port {in_port} "
+                f"vc {in_vc}"
+            )
+            return
+        # The escape resource is the single least-preferred candidate:
+        # the (port, vc) a blocked packet can always fall back to.
+        escape = response[-1]
+        for out_port, out_vc in response:
+            out_channel = router._flit_out[out_port]
+            if out_channel is None or out_channel.sink is None:
+                # respond() validates wiring; only reachable with a
+                # bypassed validation, but stay safe.
+                self.response_errors.append(
+                    f"{router.full_name}: routing selected unwired port "
+                    f"{out_port}"
+                )
+                continue
+            node = (out_channel.full_name, out_vc)
+            self.full_edges.setdefault(cur_node, set()).add(node)
+            if (out_port, out_vc) == escape:
+                self.escape_edges.setdefault(cur_node, set()).add(node)
+            sink = out_channel.sink
+            if isinstance(sink, Interface):
+                if sink.interface_id != probe.destination:
+                    self.trace_warnings.append(
+                        f"{router.full_name}: packet for terminal "
+                        f"{probe.destination} would eject at interface "
+                        f"{sink.interface_id} via port {out_port}"
+                    )
+                continue
+            hop = self._clone(probe)
+            hop.hop_count += 1
+            queue.append((sink, out_channel.sink_port, out_vc, hop, node))
+
+    @staticmethod
+    def _clone(packet):
+        clone = copy.copy(packet)
+        clone.routing_state = dict(packet.routing_state)
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# cycle detection (iterative Tarjan SCC)
+# ---------------------------------------------------------------------------
+
+
+def _find_cycle(edges: Dict[Node, Set[Node]]) -> Optional[List[Node]]:
+    """Return the nodes of one strongly connected cycle, or None.
+
+    A cycle is an SCC with more than one node, or a self-loop.
+    """
+    for node, targets in edges.items():
+        if node in targets:
+            return [node]
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    counter = itertools.count()
+    nodes = set(edges)
+    for targets in edges.values():
+        nodes |= targets
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: List[Tuple[Node, Optional[iter]]] = [(root, None)]
+        while work:
+            node, children = work[-1]
+            if children is None:
+                index[node] = lowlink[node] = next(counter)
+                stack.append(node)
+                on_stack.add(node)
+                children = iter(sorted(edges.get(node, ())))
+                work[-1] = (node, children)
+            advanced = False
+            for child in children:
+                if child not in index:
+                    work.append((child, None))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    return list(reversed(scc))
+    return None
+
+
+def _render_cycle(cycle: List[Node], limit: int = 6) -> str:
+    shown = cycle[:limit]
+    text = " -> ".join(f"{name}:vc{vc}" for name, vc in shown)
+    if len(cycle) > limit:
+        text += f" -> ... ({len(cycle)} channels total)"
+    return text
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+
+class _GraphRule(LintRule):
+    layer = GRAPH_LAYER
+
+
+@factory.register(LintRule, "G001")
+class ConstructionRule(_GraphRule):
+    rule_id = "G001"
+    description = "Network construction failed (wiring or settings fault)"
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        if graph.constructed or graph.construction_error is None:
+            return []
+        return [
+            Finding(
+                "G001",
+                Severity.ERROR,
+                f"network construction failed: {graph.construction_error}",
+                config_path="network",
+            )
+        ]
+
+
+@factory.register(LintRule, "G002")
+class UnconnectedPortRule(_GraphRule):
+    rule_id = "G002"
+    description = ("Router port left unwired (expected for edge routers of "
+                   "some topologies, hence informational)")
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        return [
+            Finding(
+                "G002",
+                Severity.INFO,
+                f"router port {name}.port{port} is unconnected",
+                config_path="network",
+            )
+            for name, port in graph.unwired_ports
+        ]
+
+
+@factory.register(LintRule, "G003")
+class RoutingResponseRule(_GraphRule):
+    rule_id = "G003"
+    description = ("Routing algorithm produced an invalid response during "
+                   "the dependency trace (unwired port, unregistered VC, "
+                   "or no candidates)")
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        seen: Set[str] = set()
+        findings = []
+        for message in graph.response_errors:
+            if message in seen:
+                continue
+            seen.add(message)
+            findings.append(
+                Finding(
+                    "G003",
+                    Severity.ERROR,
+                    message,
+                    config_path="network.routing",
+                )
+            )
+        return findings
+
+
+@factory.register(LintRule, "G004")
+class EscapeCycleRule(_GraphRule):
+    rule_id = "G004"
+    description = ("Cycle in the escape channel dependency graph: the "
+                   "routing algorithm can deadlock on this topology")
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        if graph.escape_cycle is None:
+            return []
+        return [
+            Finding(
+                "G004",
+                Severity.ERROR,
+                f"escape channel dependency graph is cyclic -- the routing "
+                f"algorithm can deadlock: "
+                f"{_render_cycle(graph.escape_cycle)}",
+                config_path="network.routing.algorithm",
+            )
+        ]
+
+
+@factory.register(LintRule, "G005")
+class AdaptiveCycleRule(_GraphRule):
+    rule_id = "G005"
+    description = ("Cycle in the full channel dependency graph only: safe "
+                   "iff the acyclic escape class is always reachable "
+                   "(Duato's criterion)")
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        if graph.full_cycle is None or graph.escape_cycle is not None:
+            return []
+        return [
+            Finding(
+                "G005",
+                Severity.INFO,
+                f"full channel dependency graph is cyclic (adaptive class); "
+                f"escape class is acyclic, so this is deadlock-free by "
+                f"Duato's criterion: {_render_cycle(graph.full_cycle)}",
+                config_path="network.routing.algorithm",
+            )
+        ]
+
+
+@factory.register(LintRule, "G006")
+class TraceAnomalyRule(_GraphRule):
+    rule_id = "G006"
+    description = ("Dependency trace anomaly: wrong-terminal ejection or a "
+                   "truncated trace")
+
+    def check(self, ctx: LintContext):
+        graph = ctx.graph()
+        seen: Set[str] = set()
+        findings = []
+        for message in graph.trace_warnings:
+            if message in seen:
+                continue
+            seen.add(message)
+            findings.append(
+                Finding(
+                    "G006",
+                    Severity.WARNING,
+                    message,
+                    config_path="network",
+                )
+            )
+        return findings

@@ -1,0 +1,150 @@
+"""The lint rule registry.
+
+Rules are classes deriving from :class:`LintRule` and registered with
+the process-global object factory under their rule id, exactly like
+router architectures or traffic patterns (paper §III-D)::
+
+    @factory.register(LintRule, "C001")
+    class UnknownKeyRule(LintRule):
+        rule_id = "C001"
+        ...
+
+so dropping a new rule module into the code base requires zero changes
+to existing files, and ``sslint`` enumerates every rule through
+``factory.names(LintRule)``.
+
+Each rule belongs to one *layer*:
+
+* ``config`` -- validates the ``Settings`` tree declaratively.
+* ``graph`` -- inspects the constructed (never-run) network graph.
+* ``determinism`` -- AST checks over workload/model source files.
+
+A :class:`LintContext` carries the inputs and memoizes the expensive
+shared work (the schema walk, the network construction and channel
+dependency trace, the parsed ASTs) so each layer pays its cost once no
+matter how many rules consume it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro import factory
+from repro.config.settings import Settings
+from repro.lint.findings import Finding, LintReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.ast_rules import SourceScan
+    from repro.lint.graph import GraphAnalysis
+
+CONFIG_LAYER = "config"
+GRAPH_LAYER = "graph"
+DETERMINISM_LAYER = "determinism"
+
+
+class LintRule:
+    """Base class for lint rules; subclasses register with the factory."""
+
+    #: Stable identifier (``C00x``, ``G00x``, ``D00x``).
+    rule_id: str = ""
+    #: Which analysis layer feeds this rule.
+    layer: str = CONFIG_LAYER
+    #: One-line description (surfaced by ``sslint --list-rules`` and docs).
+    description: str = ""
+
+    def check(self, ctx: "LintContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class LintContext:
+    """Inputs plus memoized shared analyses for one lint run."""
+
+    def __init__(
+        self,
+        settings: Optional[Settings] = None,
+        source_paths: Optional[List[str]] = None,
+        max_pairs: int = 512,
+        sweep=None,
+    ):
+        self.settings = settings
+        self.source_paths = list(source_paths or [])
+        self.max_pairs = max_pairs
+        self.sweep = sweep
+        self._schema_findings: Optional[List[Finding]] = None
+        self._graph: Optional["GraphAnalysis"] = None
+        self._scans: Optional[List["SourceScan"]] = None
+
+    # -- memoized analyses ---------------------------------------------------
+
+    @property
+    def raw(self) -> dict:
+        return self.settings.raw() if self.settings is not None else {}
+
+    def schema_findings(self) -> List[Finding]:
+        """Findings from the declarative schema walk (C001..C005)."""
+        if self._schema_findings is None:
+            from repro.lint.config_rules import walk_schema
+
+            self._schema_findings = list(walk_schema(self.raw))
+        return self._schema_findings
+
+    def graph(self) -> "GraphAnalysis":
+        """The constructed network graph and its dependency trace."""
+        if self._graph is None:
+            from repro.lint.graph import GraphAnalysis
+
+            self._graph = GraphAnalysis(self.settings, max_pairs=self.max_pairs)
+        return self._graph
+
+    def source_scans(self) -> List["SourceScan"]:
+        """Parsed-AST scans of every requested source file."""
+        if self._scans is None:
+            from repro.lint.ast_rules import SourceScan
+
+            self._scans = [SourceScan(path) for path in self.source_paths]
+        return self._scans
+
+
+def all_rule_ids(layer: Optional[str] = None) -> List[str]:
+    """Every registered rule id, optionally restricted to one layer."""
+    import repro.lint.ast_rules  # noqa: F401 - registration side effects
+    import repro.lint.config_rules  # noqa: F401
+    import repro.lint.graph  # noqa: F401
+
+    ids = factory.names(LintRule)
+    if layer is None:
+        return ids
+    return [
+        rule_id
+        for rule_id in ids
+        if factory.lookup(LintRule, rule_id).layer == layer
+    ]
+
+
+def run_rules(
+    ctx: LintContext,
+    layers: Iterable[str],
+    subject: Optional[str] = None,
+) -> LintReport:
+    """Run every registered rule of ``layers`` against ``ctx``."""
+    wanted = set(layers)
+    report = LintReport(subject=subject)
+    for rule_id in all_rule_ids():
+        rule_cls = factory.lookup(LintRule, rule_id)
+        if rule_cls.layer not in wanted:
+            continue
+        rule = factory.create(LintRule, rule_id)
+        report.extend(rule.check(ctx))
+    return report
+
+
+def rule_catalog() -> Dict[str, Dict[str, str]]:
+    """{rule id: {layer, description}} for docs and ``--list-rules``."""
+    catalog: Dict[str, Dict[str, str]] = {}
+    for rule_id in all_rule_ids():
+        cls = factory.lookup(LintRule, rule_id)
+        catalog[rule_id] = {
+            "layer": cls.layer,
+            "description": cls.description,
+        }
+    return catalog

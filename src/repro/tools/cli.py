@@ -38,7 +38,6 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.stats.latency import LatencyDistribution
 from repro.tools import ssplot
 from repro.tools.ssparse import parse_file
 
@@ -156,6 +155,9 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--html", help="write the HTML index page")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the JSON rows on stdout")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the pre-fan-out lint of the base "
+                        "config and sweep payloads")
     args = parser.parse_args(argv)
 
     with open(args.config, "r", encoding="utf-8") as handle:
@@ -171,7 +173,23 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
             short, short, values,
             lambda v, path=path, type_name=type_name: f"{path}={type_name}={v}",
         )
+    if not args.no_lint:
+        # Lint before fanning out: a broken base config or unpicklable
+        # payload should fail here, with config paths and rule ids, not
+        # as one executor traceback per worker process.
+        from repro.lint import lint_sweep
+
+        report = lint_sweep(sweep)
+        if report.findings:
+            print(report.render_text(), file=sys.stderr)
+        if report.has_errors():
+            print("lint found errors; not launching sweep workers",
+                  file=sys.stderr)
+            return 2
     sweep.run(workers=args.workers, job_timeout=args.job_timeout)
+    for job in sweep.jobs:
+        if job.error:
+            print(f"FAILED: {job.error}", file=sys.stderr)
 
     rows = sweep.to_rows()
     if args.csv:

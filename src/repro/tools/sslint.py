@@ -1,0 +1,217 @@
+"""sslint: static analysis of an experiment before it runs.
+
+Lints JSON settings files (config + graph layers), Python source files
+(determinism layer), and the built-in benchmark configurations::
+
+    sslint experiment.json network.num_vcs=uint=4
+    sslint examples/ --format json
+    sslint --builtin all
+    sslint experiment.json --import my_models   # user models (§III-D)
+    sslint --list-rules
+
+Exit status: 0 when no error-severity finding was produced, 1
+otherwise (warnings and infos never fail the run), 2 on usage errors.
+See docs/LINTING.md for the rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import pathlib
+import sys
+from typing import List, Optional, Tuple
+
+from repro.config.settings import Settings, SettingsError
+from repro.lint import (
+    Finding,
+    LintReport,
+    Severity,
+    lint_config_dict,
+    lint_settings,
+    lint_sources,
+    rule_catalog,
+)
+
+
+def _split_args(items: List[str]) -> Tuple[List[str], List[str]]:
+    """Separate file/directory paths from path=type=value overrides."""
+    paths, overrides = [], []
+    for item in items:
+        (overrides if "=" in item else paths).append(item)
+    return paths, overrides
+
+
+def _collect_targets(
+    paths: List[str], parser: argparse.ArgumentParser
+) -> Tuple[List[pathlib.Path], List[pathlib.Path]]:
+    """Expand paths into (config files, python source files)."""
+    configs: List[pathlib.Path] = []
+    sources: List[pathlib.Path] = []
+    for text in paths:
+        path = pathlib.Path(text)
+        if not path.exists():
+            parser.error(f"no such file or directory: {text}")
+        if path.is_dir():
+            configs.extend(sorted(path.rglob("*.json")))
+            sources.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            sources.append(path)
+        else:
+            configs.append(path)
+    return configs, sources
+
+
+def _builtin_reports(
+    name: str,
+    graph: bool,
+    max_pairs: int,
+    parser: argparse.ArgumentParser,
+) -> List[LintReport]:
+    from repro import configs as builders
+
+    available = sorted(
+        attr
+        for attr in dir(builders)
+        if attr.endswith("_config") and callable(getattr(builders, attr))
+    )
+    wanted = available if name == "all" else [name]
+    reports = []
+    for builder_name in wanted:
+        builder = getattr(builders, builder_name, None)
+        if builder is None or not callable(builder):
+            parser.error(
+                f"unknown builtin config {name!r}; available: "
+                f"{', '.join(available + ['all'])}"
+            )
+        reports.append(
+            lint_config_dict(
+                builder(),
+                graph=graph,
+                max_pairs=max_pairs,
+                subject=f"builtin:{builder_name}",
+            )
+        )
+    return reports
+
+
+def sslint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sslint",
+        description="Static analysis of configs, network wiring, and "
+        "parallel-sweep determinism",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="JSON settings files, Python source files, directories "
+        "(recursed), and path=type=value overrides applied to every "
+        "config target",
+    )
+    parser.add_argument(
+        "--builtin",
+        metavar="NAME",
+        default=None,
+        help="lint a built-in benchmark config from repro.configs "
+        "(or 'all')",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the CI format)",
+    )
+    parser.add_argument(
+        "--no-graph", action="store_true",
+        help="skip the graph layer (no network construction)",
+    )
+    parser.add_argument(
+        "--import", dest="imports", action="append", metavar="MODULE",
+        default=[],
+        help="import a module first (registers user models; repeatable)",
+    )
+    parser.add_argument(
+        "--max-pairs", type=int, default=512,
+        help="terminal pairs sampled by the dependency trace",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        catalog = rule_catalog()
+        if args.format == "json":
+            json.dump(catalog, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            for rule_id, info in sorted(catalog.items()):
+                print(f"{rule_id}  [{info['layer']}]  {info['description']}")
+        return 0
+
+    for module in args.imports:
+        sys.path.insert(0, ".")
+        try:
+            importlib.import_module(module)
+        except ImportError as exc:
+            parser.error(f"cannot import {module!r}: {exc}")
+
+    paths, overrides = _split_args(args.targets)
+    if not paths and args.builtin is None:
+        parser.error("nothing to lint: pass files/directories or --builtin")
+
+    config_files, source_files = _collect_targets(paths, parser)
+    graph = not args.no_graph
+    reports: List[LintReport] = []
+
+    for config_file in config_files:
+        subject = str(config_file)
+        try:
+            settings = Settings.from_file(config_file, overrides=overrides)
+        except (SettingsError, json.JSONDecodeError, OSError) as exc:
+            report = LintReport(subject=subject)
+            report.add(
+                Finding(
+                    "C002",
+                    Severity.ERROR,
+                    f"configuration does not resolve: {exc}",
+                )
+            )
+            reports.append(report)
+            continue
+        reports.append(
+            lint_settings(
+                settings,
+                graph=graph,
+                max_pairs=args.max_pairs,
+                subject=subject,
+            )
+        )
+
+    if source_files:
+        reports.append(
+            lint_sources(
+                [str(path) for path in source_files], subject="sources"
+            )
+        )
+
+    if args.builtin is not None:
+        reports.extend(
+            _builtin_reports(args.builtin, graph, args.max_pairs, parser)
+        )
+
+    if args.format == "json":
+        payload = {
+            "reports": [json.loads(report.to_json()) for report in reports],
+            "errors": sum(len(report.errors) for report in reports),
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for report in reports:
+            print(report.render_text())
+    return 1 if any(report.has_errors() for report in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(sslint_main())

@@ -23,7 +23,7 @@ Supported fields: ``app``, ``src``, ``dst``, ``size`` (flits),
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.stats.latency import LatencyDistribution
 from repro.stats.records import MessageRecord, read_jsonl

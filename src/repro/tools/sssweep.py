@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import html
 import json
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config.settings import Settings
 from repro.sim import Simulation, SimulationResults
@@ -73,6 +73,26 @@ class SweepJob:
 
     def __repr__(self):
         return f"SweepJob({self.job_id})"
+
+    def describe(self) -> str:
+        """The sweep point in human terms: id plus variable values."""
+        values = ", ".join(f"{k}={v}" for k, v in self.values.items())
+        return f"sweep point {self.job_id!r} ({values})"
+
+    def format_error(self, error: Any) -> str:
+        """Attach the originating sweep point to a worker-side failure.
+
+        Parallel workers only ship back the exception; without this the
+        user sees a bare executor traceback with no clue which point of
+        the cross product produced it.
+        """
+        kind = type(error).__name__ if isinstance(error, BaseException) else ""
+        prefix = f"{kind}: " if kind else ""
+        overrides = "; ".join(self.overrides)
+        return (
+            f"{self.describe()} failed: {prefix}{error} "
+            f"[overrides: {overrides}]"
+        )
 
 
 def default_collect(results: SimulationResults) -> Dict[str, Any]:
@@ -224,7 +244,7 @@ class Sweep:
             job_id = task.name.split(":", 1)[1]
             for job in self.jobs:
                 if job.job_id == job_id:
-                    job.error = str(task.error)
+                    job.error = job.format_error(task.error)
 
     def _run_parallel(
         self,
@@ -255,9 +275,11 @@ class Sweep:
             if task.state == TaskState.SUCCEEDED:
                 job.result = task.result
             elif task.error is not None:
-                job.error = str(task.error)
+                job.error = job.format_error(task.error)
             else:
-                job.error = f"job ended in state {task.state.value}"
+                job.error = job.format_error(
+                    f"job ended in state {task.state.value}"
+                )
             if observer is not None:
                 observer(job)
 

@@ -1,0 +1,134 @@
+"""Factory failure modes around import-time registration.
+
+The drop-in extension contract (paper §III-D) registers models as a
+side effect of importing their module.  That makes the failure modes
+ordering-sensitive: a lookup before the registering import must fail
+loudly, a re-import (importlib.reload) must stay idempotent, and a
+rejected duplicate must leave the original registration intact.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+from repro.factory.registry import FactoryError, ObjectFactory
+
+MODULE_SOURCE = textwrap.dedent(
+    """
+    from tests.factory.test_failure_modes import FACTORY, PluginBase
+
+    @FACTORY.register(PluginBase, "plugin")
+    class Plugin(PluginBase):
+        pass
+    """
+)
+
+#: Shared with the generated module so both sides use one registry.
+FACTORY = ObjectFactory()
+
+
+class PluginBase:
+    pass
+
+
+@pytest.fixture()
+def plugin_module(tmp_path: pathlib.Path):
+    """Write a registering module to disk and yield its import path."""
+    path = tmp_path / "lint_ordering_plugin.py"
+    path.write_text(MODULE_SOURCE)
+    module_name = "lint_ordering_plugin"
+    yield module_name, path
+    sys.modules.pop(module_name, None)
+
+
+def _import(module_name: str, path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_lookup_before_registering_import_fails(plugin_module):
+    module_name, path = plugin_module
+    with pytest.raises(FactoryError, match="plugin"):
+        FACTORY.lookup(PluginBase, "plugin")
+    _import(module_name, path)
+    assert FACTORY.lookup(PluginBase, "plugin").__name__ == "Plugin"
+
+
+def test_reimport_is_idempotent(plugin_module):
+    module_name, path = plugin_module
+    first = _import(module_name, path)
+    registered_first = FACTORY.lookup(PluginBase, "plugin")
+    # Re-executing the module (reload, or a second import under a
+    # different name) re-runs the decorator with an identical qualname:
+    # must not raise, and the registry keeps a single winner.
+    second = _import(module_name + "_again", path)
+    sys.modules.pop(module_name + "_again", None)
+    registered_second = FACTORY.lookup(PluginBase, "plugin")
+    assert registered_second.__qualname__ == registered_first.__qualname__
+    assert first.Plugin is not second.Plugin  # distinct module executions
+
+
+def test_rejected_duplicate_leaves_original_intact():
+    factory = ObjectFactory()
+
+    class Base:
+        pass
+
+    @factory.register(Base, "model")
+    class Original(Base):
+        pass
+
+    with pytest.raises(FactoryError, match="already registered"):
+
+        @factory.register(Base, "model")
+        class Usurper(Base):
+            pass
+
+    assert factory.lookup(Base, "model") is Original
+    assert factory.names(Base) == ["model"]
+
+
+def test_create_propagates_constructor_errors():
+    factory = ObjectFactory()
+
+    class Base:
+        pass
+
+    @factory.register(Base, "fussy")
+    class Fussy(Base):
+        def __init__(self, value: int):
+            if value < 0:
+                raise ValueError("negative")
+
+    # Constructor failures are the model's errors, not FactoryError.
+    with pytest.raises(ValueError, match="negative"):
+        factory.create(Base, "fussy", -1)
+    with pytest.raises(TypeError):
+        factory.create(Base, "fussy")  # missing argument
+
+
+def test_registration_order_does_not_leak_across_bases():
+    factory = ObjectFactory()
+
+    class BaseA:
+        pass
+
+    class BaseB:
+        pass
+
+    @factory.register(BaseA, "shared_name")
+    class ModelA(BaseA):
+        pass
+
+    assert factory.names(BaseB) == []
+    with pytest.raises(FactoryError, match="BaseB"):
+        factory.lookup(BaseB, "shared_name")

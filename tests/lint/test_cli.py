@@ -1,0 +1,124 @@
+"""The sslint CLI and its integration points (supersim, sssweep)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.__main__ import main as supersim_main
+from repro.configs import blast_pulse_config
+from repro.tools.sslint import sslint_main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _write_config(tmp_path, config, name="config.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(config))
+    return str(path)
+
+
+def test_clean_config_exits_zero(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert sslint_main([path]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_error_finding_exits_one(tmp_path, capsys):
+    config = copy.deepcopy(blast_pulse_config())
+    config["network"]["router"]["crossbar_scheduler"] = {
+        "flow_control": "packet_buffer"
+    }
+    config["network"]["router"]["input_queue_depth"] = 8
+    config["network"]["interface"]["max_packet_size"] = 16
+    path = _write_config(tmp_path, config)
+    assert sslint_main([path]) == 1
+    assert "C008" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    config = copy.deepcopy(blast_pulse_config())
+    config["network"]["chanel_latency"] = 4  # C001 typo, warning only
+    path = _write_config(tmp_path, config)
+    assert sslint_main([path, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["errors"] == 0
+    (report,) = payload["reports"]
+    assert report["counts"]["warning"] == 1
+    (finding,) = report["findings"]
+    assert finding["rule_id"] == "C001"
+    assert "channel_latency" in finding["suggestion"]
+
+
+def test_overrides_apply_to_config_targets(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert sslint_main([path, "network.num_vcs=uint=3"]) == 1
+    assert "C007" in capsys.readouterr().out
+
+
+def test_import_registers_user_models(tmp_path, capsys, monkeypatch):
+    monkeypatch.syspath_prepend(str(FIXTURES))
+    config = copy.deepcopy(blast_pulse_config())
+    config["network"]["routing"]["algorithm"] = "naive_torus_minimal"
+    path = _write_config(tmp_path, config)
+    assert sslint_main([path, "--import", "naive_routing"]) == 1
+    assert "G004" in capsys.readouterr().out
+
+
+def test_builtin_configs_lint_clean(capsys):
+    assert sslint_main(["--builtin", "all", "--max-pairs", "64"]) == 0
+    assert "builtin:" in capsys.readouterr().out
+
+
+def test_list_rules_covers_all_layers(capsys):
+    assert sslint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("C001", "C008", "G004", "D001", "D005"):
+        assert rule_id in out
+
+
+def test_py_targets_use_determinism_layer(tmp_path, capsys):
+    source = tmp_path / "model.py"
+    source.write_text("import random\nrandom.random()\n")
+    assert sslint_main([str(source)]) == 0  # warnings only
+    assert "D001" in capsys.readouterr().out
+
+
+def test_nothing_to_lint_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        sslint_main([])
+    assert excinfo.value.code == 2
+
+
+def test_supersim_lint_only(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert supersim_main([path, "--lint-only"]) == 0
+    assert supersim_main([path, "network.num_vcs=uint=3", "--lint-only"]) == 1
+    err = capsys.readouterr().err
+    assert "C007" in err
+
+
+def test_supersim_lint_blocks_simulation(tmp_path, capsys):
+    config = copy.deepcopy(blast_pulse_config())
+    config["network"]["num_vcs"] = 3
+    path = _write_config(tmp_path, config)
+    assert supersim_main([path, "--lint", "--quiet"]) == 1
+    assert "not simulating" in capsys.readouterr().err
+
+
+def test_sssweep_lint_gate_blocks_fanout(tmp_path, capsys):
+    from repro.tools.cli import sssweep_main
+
+    path = _write_config(tmp_path, blast_pulse_config())
+    rc = sssweep_main(
+        [path, "--var", "V=network.num_vcs=uint=3,5", "--workers", "1",
+         "--quiet"]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "C007" in err and "not launching" in err

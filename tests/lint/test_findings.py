@@ -1,0 +1,62 @@
+"""Findings, severities, and report rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Finding, LintReport, Severity
+
+
+def test_severity_ranks_order_worst_first():
+    assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+
+def test_finding_render_and_dict():
+    finding = Finding(
+        "C001",
+        Severity.WARNING,
+        "unknown setting",
+        config_path="network.typo",
+        suggestion="did you mean 'type'?",
+    )
+    text = finding.render()
+    assert "warning[C001]" in text
+    assert "network.typo" in text
+    assert "did you mean" in text
+    data = finding.to_dict()
+    assert data["rule_id"] == "C001"
+    assert data["severity"] == "warning"
+    assert data["config_path"] == "network.typo"
+
+
+def test_report_sorting_counts_and_json():
+    report = LintReport(subject="unit")
+    report.add(Finding("G005", Severity.INFO, "adaptive cycle"))
+    report.add(Finding("C007", Severity.ERROR, "vc mismatch"))
+    report.add(Finding("D001", Severity.WARNING, "unseeded random"))
+    report.add(Finding("C004", Severity.ERROR, "missing block"))
+
+    ordered = [f.rule_id for f in report.sorted_findings()]
+    assert ordered == ["C004", "C007", "D001", "G005"]
+    assert report.counts() == {"error": 2, "warning": 1, "info": 1}
+    assert report.has_errors()
+    assert len(report.errors) == 2 and len(report.warnings) == 1
+
+    payload = json.loads(report.to_json())
+    assert payload["subject"] == "unit"
+    assert payload["counts"]["error"] == 2
+    assert [f["rule_id"] for f in payload["findings"]] == ordered
+
+    text = report.render_text()
+    assert text.splitlines()[0] == "== unit =="
+    assert text.strip().endswith("2 error(s), 1 warning(s), 1 info")
+
+
+def test_report_merge():
+    a = LintReport(subject="a")
+    a.add(Finding("C001", Severity.WARNING, "x"))
+    b = LintReport(subject="b")
+    b.add(Finding("C002", Severity.ERROR, "y"))
+    a.merge(b)
+    assert [f.rule_id for f in a.findings] == ["C001", "C002"]
+    assert a.has_errors()
