@@ -67,6 +67,12 @@ run_gate "sslint (examples + builtin configs)" \
 run_gate "sslint --list-rules" \
     python -m repro.tools.sslint --list-rules
 
+# 6. Sanitizer smoke tier: every built-in config runs briefly under the
+#    runtime sanitizers (credit/flit/event conservation, determinism
+#    hashing).  See docs/SANITIZERS.md.
+run_gate "sanitize smoke (builtin configs)" \
+    python scripts/sanitize_smoke.py
+
 echo
 if [ "${FAILURES}" -ne 0 ]; then
     echo "ci_check: ${FAILURES} gate(s) failed"

@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint the resolved config and exit without simulating",
     )
     parser.add_argument(
+        "--sanitize",
+        metavar="NAMES",
+        default=None,
+        help="attach runtime sanitizers: 'all' or a comma-separated "
+        "subset of credit,flit,event,det (see docs/SANITIZERS.md); "
+        "exits 3 at the first invariant violation",
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="SHORT=path=type=v1,v2,...",
@@ -101,6 +109,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             sweep_argv.extend(["--max-time", str(args.max_time)])
         if args.quiet:
             sweep_argv.append("--quiet")
+        if args.sanitize:
+            # Sweep mode cannot afford sanitizers on every point; the
+            # equivalent is a sanitized smoke run of the base point.
+            sweep_argv.append("--smoke")
         return sssweep_main(sweep_argv)
     overrides = list(args.overrides)
     if args.progress:
@@ -119,8 +131,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("lint found errors; not simulating", file=sys.stderr)
             return 1
     simulation = Simulation(settings)
-    results = simulation.run(max_time=args.max_time)
-    summary = results.summary()
+    if args.sanitize:
+        from repro.factory.registry import FactoryError
+        from repro.sanitize import SanitizerError, attach_sanitizers
+
+        try:
+            with attach_sanitizers(simulation, args.sanitize) as suite:
+                results = simulation.run(max_time=args.max_time)
+                suite.finish()
+                sanitizer_report = suite.report()
+        except FactoryError as exc:
+            print(f"supersim: --sanitize: {exc}", file=sys.stderr)
+            return 2
+        except SanitizerError as exc:
+            print(f"sanitizer violation: {exc}", file=sys.stderr)
+            return 3
+        summary = results.summary()
+        summary["sanitizers"] = sanitizer_report
+    else:
+        results = simulation.run(max_time=args.max_time)
+        summary = results.summary()
 
     output = settings.child("output", default={})
     log_path = output.get("message_log", None)

@@ -14,7 +14,17 @@ Performance notes (see ``docs/PERFORMANCE.md`` for the full story):
   timestamps, heap entries are 3-tuples, and the causality check is a
   single ``<=``.  Epsilon is therefore bounded at ``2**20 - 1``, far
   above the single-digit epsilons the component conventions use
-  (:mod:`repro.net.phases`).
+  (:mod:`repro.net.phases`); every scheduling entry point guards the
+  bound and raises :class:`SimulationError` at ``epsilon >= 2**20``
+  instead of silently corrupting the key (the adjacent tick would
+  absorb the overflowing epsilon).  *Tick overflow bounds:* Python
+  integers never wrap, so packed keys are **correct for any tick**.
+  They are *fast* while the key fits a machine word: up to
+  ``tick < 2**(63 - EPSILON_BITS) = 2**43`` ticks (~2.4 hours of
+  simulated time at 1 tick = 1 ns) keys stay single-digit CPython
+  ints; beyond that comparisons fall onto the big-int path and merely
+  slow down.  See ``tests/core/test_packed_key_bounds.py`` for the
+  boundary regression tests.
 * ``tick`` and ``epsilon`` are plain attributes (not properties):
   handlers read them millions of times per run.  Treat them as
   read-only.
@@ -55,6 +65,10 @@ EPSILON_BITS = 20
 #: exclusive upper bound for epsilon values.
 EPSILON_LIMIT = 1 << EPSILON_BITS
 _EPS_MASK = EPSILON_LIMIT - 1
+#: ticks up to (exclusive) this bound pack into a 63-bit key, keeping
+#: heap comparisons on CPython's fast machine-word path.  Larger ticks
+#: stay *correct* (Python ints never wrap) but compare slower.
+TICK_FAST_LIMIT = 1 << (63 - EPSILON_BITS)
 
 
 class SimulationError(RuntimeError):
@@ -98,6 +112,7 @@ class Simulator:
         "_event_pool_size",
         "_components",
         "_observers",
+        "_sanitizer",
     )
 
     #: compaction threshold: compact when at least this many entries are
@@ -118,6 +133,11 @@ class Simulator:
         self._event_pool_size = event_pool_size
         self._components: Dict[str, "Component"] = {}
         self._observers: List[Callable[["Simulator"], None]] = []
+        # Runtime sanitizer suite (repro.sanitize).  None in normal runs:
+        # the only cost of the hook is one attribute test per run() call,
+        # never per event.  When set, run() routes through the
+        # instrumented executer so the suite sees every event.
+        self._sanitizer = None
 
     # -- time ---------------------------------------------------------------
 
@@ -335,7 +355,9 @@ class Simulator:
         )
         self._running = True
         try:
-            if (
+            if self._sanitizer is not None:
+                self._run_sanitized(limit_tick, limit_epsilon, max_events, deadline)
+            elif (
                 max_events is None
                 and deadline is None
                 and self._event_pool_size > 0
@@ -487,6 +509,76 @@ class Simulator:
             self._executed_events += 1
             executed_this_run += 1
             if refs(event) == 2 and len(pool) < pool_max:
+                pool.append(event)
+            if max_events is not None and executed_this_run >= max_events:
+                break
+            if (
+                deadline is not None
+                and (executed_this_run & check_mask) == 0
+                and _wallclock.monotonic() > deadline
+            ):
+                break
+
+    def _run_sanitized(
+        self,
+        limit_tick: Optional[int],
+        limit_epsilon: int,
+        max_events: Optional[int],
+        deadline: Optional[float],
+    ) -> None:
+        """The instrumented executer used when a sanitizer suite is
+        attached (see :mod:`repro.sanitize`).
+
+        Semantically identical to :meth:`_run_general` -- same limits,
+        same recycling discipline, same execution order -- but invokes
+        the suite's hooks: ``pre_event_hooks`` right before each handler
+        runs (with the clock already advanced) and ``recycle_hooks``
+        right before an event object is parked in the freelist (so
+        :class:`~repro.sanitize.EventSan` can poison it).  The ordinary
+        loops never pay for any of this: ``run()`` only dispatches here
+        while ``_sanitizer`` is set.
+        """
+        suite = self._sanitizer
+        pre_hooks = tuple(suite.pre_event_hooks)
+        recycle_hooks = tuple(suite.recycle_hooks)
+        queue = self._queue
+        pop = heapq.heappop
+        pool = self._event_pool
+        pool_max = self._event_pool_size
+        refs = _getrefcount
+        executed_this_run = 0
+        check_mask = 0x3FF  # test wall clock every 1024 events
+        limit_key = (
+            None
+            if limit_tick is None
+            else (limit_tick << EPSILON_BITS) | limit_epsilon
+        )
+        while queue:
+            entry_key, _seq, event = pop(queue)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                if refs(event) == 2 and len(pool) < pool_max:
+                    event.cancelled = False
+                    for hook in recycle_hooks:
+                        hook(event)
+                    pool.append(event)
+                continue
+            if limit_key is not None and entry_key > limit_key:
+                # Put it back; the caller may resume later.
+                heapq.heappush(queue, (entry_key, _seq, event))
+                break
+            self.tick = entry_key >> EPSILON_BITS
+            self.epsilon = entry_key & _EPS_MASK
+            self._now_key = entry_key
+            for hook in pre_hooks:
+                hook(entry_key, event)
+            event.fired = True
+            event.handler(event)
+            self._executed_events += 1
+            executed_this_run += 1
+            if refs(event) == 2 and len(pool) < pool_max:
+                for hook in recycle_hooks:
+                    hook(event)
                 pool.append(event)
             if max_events is not None and executed_this_run >= max_events:
                 break

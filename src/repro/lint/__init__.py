@@ -12,6 +12,11 @@ Three layers of checks, all runnable without simulating a single tick:
 * **determinism** (D001..D005) -- AST checks over workload/model
   source files (unseeded randomness, wall-clock reads, module-global
   mutation) plus a runtime pickling check of parallel-sweep payloads.
+* **dataflow** (E001..E006) -- AST checks for model-contract
+  violations: event handles retained past firing, epsilon-discipline
+  breaches, credit counts mutated outside the ``repro.net.credit``
+  API.  The static counterparts of the ``repro.sanitize`` runtime
+  sanitizers.
 
 Entry points: ``sslint`` (CLI), ``supersim --lint``, and
 ``sssweep``'s pre-fan-out gate.  See docs/LINTING.md for the rule
@@ -26,6 +31,7 @@ from repro.config.settings import Settings, SettingsError
 from repro.lint.findings import Finding, LintReport, Severity
 from repro.lint.rules import (
     CONFIG_LAYER,
+    DATAFLOW_LAYER,
     DETERMINISM_LAYER,
     GRAPH_LAYER,
     LintContext,
@@ -35,11 +41,12 @@ from repro.lint.rules import (
     run_rules,
 )
 
-ALL_LAYERS = (CONFIG_LAYER, GRAPH_LAYER, DETERMINISM_LAYER)
+ALL_LAYERS = (CONFIG_LAYER, GRAPH_LAYER, DETERMINISM_LAYER, DATAFLOW_LAYER)
 
 __all__ = [
     "ALL_LAYERS",
     "CONFIG_LAYER",
+    "DATAFLOW_LAYER",
     "DETERMINISM_LAYER",
     "GRAPH_LAYER",
     "Finding",
@@ -104,9 +111,9 @@ def lint_config_dict(
 def lint_sources(
     paths: Iterable[str], subject: Optional[str] = None
 ) -> LintReport:
-    """Run the determinism AST rules over source files."""
+    """Run the determinism + dataflow AST rules over source files."""
     ctx = LintContext(source_paths=list(paths))
-    return run_rules(ctx, [DETERMINISM_LAYER], subject=subject)
+    return run_rules(ctx, [DETERMINISM_LAYER, DATAFLOW_LAYER], subject=subject)
 
 
 def lint_sweep(

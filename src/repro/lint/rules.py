@@ -18,6 +18,9 @@ Each rule belongs to one *layer*:
 * ``config`` -- validates the ``Settings`` tree declaratively.
 * ``graph`` -- inspects the constructed (never-run) network graph.
 * ``determinism`` -- AST checks over workload/model source files.
+* ``dataflow`` -- AST checks for model-contract violations (event
+  handle lifetimes, epsilon discipline, credit-API bypasses) -- the
+  static counterparts of the :mod:`repro.sanitize` runtime checks.
 
 A :class:`LintContext` carries the inputs and memoizes the expensive
 shared work (the schema walk, the network construction and channel
@@ -35,11 +38,13 @@ from repro.lint.findings import Finding, LintReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.ast_rules import SourceScan
+    from repro.lint.dataflow_rules import DataflowScan
     from repro.lint.graph import GraphAnalysis
 
 CONFIG_LAYER = "config"
 GRAPH_LAYER = "graph"
 DETERMINISM_LAYER = "determinism"
+DATAFLOW_LAYER = "dataflow"
 
 
 class LintRule:
@@ -73,6 +78,7 @@ class LintContext:
         self._schema_findings: Optional[List[Finding]] = None
         self._graph: Optional["GraphAnalysis"] = None
         self._scans: Optional[List["SourceScan"]] = None
+        self._dataflow_scans: Optional[List["DataflowScan"]] = None
 
     # -- memoized analyses ---------------------------------------------------
 
@@ -104,11 +110,22 @@ class LintContext:
             self._scans = [SourceScan(path) for path in self.source_paths]
         return self._scans
 
+    def dataflow_scans(self) -> List["DataflowScan"]:
+        """Dataflow-hazard AST scans of every requested source file."""
+        if self._dataflow_scans is None:
+            from repro.lint.dataflow_rules import DataflowScan
+
+            self._dataflow_scans = [
+                DataflowScan(path) for path in self.source_paths
+            ]
+        return self._dataflow_scans
+
 
 def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     """Every registered rule id, optionally restricted to one layer."""
     import repro.lint.ast_rules  # noqa: F401 - registration side effects
     import repro.lint.config_rules  # noqa: F401
+    import repro.lint.dataflow_rules  # noqa: F401
     import repro.lint.graph  # noqa: F401
 
     ids = factory.names(LintRule)

@@ -83,6 +83,18 @@ class PortedDevice(Component):
         """
         raise NotImplementedError
 
+    def input_occupancy(self, port: int, vc: int) -> int:
+        """Flits currently held in this device's input buffer at
+        ``(port, vc)``.
+
+        Devices that consume flits the instant they arrive (the standard
+        interface's ejection path returns the credit immediately) keep
+        the default of ``0``; routers override this with their real
+        input-buffer occupancy.  ``repro.sanitize.CreditSan`` uses it to
+        close the per-link credit conservation equation.
+        """
+        return 0
+
     def receive_flit(self, port: int, flit: Flit) -> None:
         """A flit arrived on the incoming channel of ``port``."""
         raise NotImplementedError

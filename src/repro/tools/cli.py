@@ -158,6 +158,14 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-lint", action="store_true",
                         help="skip the pre-fan-out lint of the base "
                         "config and sweep payloads")
+    parser.add_argument("--smoke", action="store_true",
+                        help="before fanning out, run the base point "
+                        "briefly under all runtime sanitizers "
+                        "(see docs/SANITIZERS.md)")
+    parser.add_argument("--smoke-ticks", type=int, default=1000,
+                        metavar="TICKS",
+                        help="simulated tick budget for the --smoke run "
+                        "(default: 1000)")
     args = parser.parse_args(argv)
 
     with open(args.config, "r", encoding="utf-8") as handle:
@@ -186,6 +194,22 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
             print("lint found errors; not launching sweep workers",
                   file=sys.stderr)
             return 2
+    if args.smoke:
+        from repro.sanitize import SanitizerError
+
+        try:
+            report = sweep.sanitized_smoke(max_time=args.smoke_ticks)
+        except SanitizerError as exc:
+            print(f"sanitized smoke run failed: {exc}", file=sys.stderr)
+            print("not launching sweep workers", file=sys.stderr)
+            return 3
+        if not args.quiet:
+            checks = sum(r.get("checks", 0) for r in report.values())
+            print(
+                f"smoke: base point clean under sanitizers "
+                f"({args.smoke_ticks} ticks, {checks} checks)",
+                file=sys.stderr,
+            )
     sweep.run(workers=args.workers, job_timeout=args.job_timeout)
     for job in sweep.jobs:
         if job.error:

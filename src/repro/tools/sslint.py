@@ -5,12 +5,17 @@ Lints JSON settings files (config + graph layers), Python source files
 
     sslint experiment.json network.num_vcs=uint=4
     sslint examples/ --format json
+    sslint examples/ --format sarif > lint.sarif
     sslint --builtin all
     sslint experiment.json --import my_models   # user models (§III-D)
+    sslint src/ --write-baseline lint-baseline.json
+    sslint src/ --baseline lint-baseline.json   # new findings only
     sslint --list-rules
 
 Exit status: 0 when no error-severity finding was produced, 1
 otherwise (warnings and infos never fail the run), 2 on usage errors.
+With ``--baseline``, findings recorded in the baseline are suppressed
+before the exit status is computed, so CI gates on new findings only.
 See docs/LINTING.md for the rule catalog.
 """
 
@@ -117,8 +122,19 @@ def sslint_main(argv: Optional[List[str]] = None) -> int:
         "(or 'all')",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is the CI format)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json is the CI format; sarif is the "
+        "SARIF 2.1.0 interchange format for code-review tooling)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings recorded in this baseline file, so the "
+        "exit status gates on new findings only",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="record every current finding's fingerprint to FILE and "
+        "exit 0 (adopt-now, fix-later workflow)",
     )
     parser.add_argument(
         "--no-graph", action="store_true",
@@ -200,12 +216,36 @@ def sslint_main(argv: Optional[List[str]] = None) -> int:
             _builtin_reports(args.builtin, graph, args.max_pairs, parser)
         )
 
+    if args.write_baseline is not None:
+        from repro.lint.sarif import write_baseline
+
+        count = write_baseline(args.write_baseline, reports)
+        print(
+            f"recorded {count} fingerprint(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        from repro.lint.sarif import apply_baseline, load_baseline
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        reports = apply_baseline(reports, baseline)
+
     if args.format == "json":
         payload = {
             "reports": [json.loads(report.to_json()) for report in reports],
             "errors": sum(len(report.errors) for report in reports),
         }
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+
+        json.dump(to_sarif(reports), sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
         for report in reports:

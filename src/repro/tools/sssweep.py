@@ -283,6 +283,30 @@ class Sweep:
             if observer is not None:
                 observer(job)
 
+    # -- sanitized smoke run ------------------------------------------------------------
+
+    def sanitized_smoke(
+        self, max_time: int = 1000, sanitize: str = "all"
+    ) -> Dict[str, Any]:
+        """Run the base point briefly under runtime sanitizers.
+
+        Called before fan-out (``sssweep --smoke``): a model that leaks
+        credits or corrupts the event stream should fail here, in one
+        short sanitized run with an invariant-violation message, rather
+        than as N workers' worth of confusing downstream symptoms (or,
+        worse, N quietly wrong result rows).  Raises
+        :class:`repro.sanitize.SanitizerError` on the first violation;
+        returns the per-sanitizer report dict on a clean run.
+        """
+        from repro.sanitize import attach_sanitizers
+
+        settings = Settings.from_dict(self.base_config)
+        simulation = Simulation(settings)
+        with attach_sanitizers(simulation, sanitize) as suite:
+            simulation.run(max_time=max_time)
+            suite.finish()
+            return suite.report()
+
     # -- results ------------------------------------------------------------------------
 
     def to_rows(self) -> List[Dict[str, Any]]:

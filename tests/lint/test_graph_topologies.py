@@ -1,0 +1,178 @@
+"""Graph-layer rules G001..G006 exercised over torus AND HyperX.
+
+``test_graph_rules.py`` proves each rule's mechanics, mostly on the
+torus.  This file is the topology-coverage matrix: every G rule has a
+trigger (or an explicit clean counterpart) on both packaged topology
+families, so a regression in one topology's wiring or routing metadata
+cannot hide behind the other's tests.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.config.settings import Settings
+from repro.configs import blast_pulse_config
+from repro.lint import lint_config_dict
+from repro.lint.graph import GraphAnalysis
+from repro.lint.rules import GRAPH_LAYER, LintContext, run_rules
+
+from .fixtures import hyperx_misrouting  # noqa: F401 - registers algorithms
+from .fixtures import naive_routing  # noqa: F401 - registers the algorithm
+
+
+def _base_workload():
+    return {
+        "applications": [{
+            "type": "blast",
+            "injection_rate": 0.1,
+            "traffic": {"type": "uniform_random"},
+            "message_size": {"type": "constant", "size": 1},
+        }]
+    }
+
+
+def hyperx_config(algorithm="hyperx_dimension_order", num_vcs=2,
+                  widths=(3, 3), concentration=1):
+    return {
+        "network": {
+            "topology": "hyperx",
+            "dimension_widths": list(widths),
+            "concentration": concentration,
+            "num_vcs": num_vcs,
+            "channel_latency": 2,
+            "router": {"architecture": "input_queued",
+                       "input_queue_depth": 8, "core_latency": 1},
+            "interface": {"max_packet_size": 2},
+            "routing": {"algorithm": algorithm},
+        },
+        "workload": _base_workload(),
+    }
+
+
+def torus_config():
+    return copy.deepcopy(blast_pulse_config())
+
+
+def _graph_report(config):
+    """Run only the graph layer (bypasses the config-layer gate)."""
+    ctx = LintContext(settings=Settings.from_dict(config))
+    return run_rules(ctx, [GRAPH_LAYER])
+
+
+def _rule_ids(report):
+    return sorted({f.rule_id for f in report.findings})
+
+
+# -- G001: construction failure ------------------------------------------------
+
+
+def test_g001_torus_construction_failure():
+    config = torus_config()
+    config["network"]["num_vcs"] = 3  # odd VCs break the dateline scheme
+    report = _graph_report(config)
+    assert "G001" in _rule_ids(report)
+
+
+def test_g001_hyperx_construction_failure():
+    # Valiant needs num_vcs >= 2 hops per dimension; its constructor
+    # raises during finalize, which the graph layer reports as G001.
+    config = hyperx_config("hyperx_valiant", num_vcs=2)
+    report = _graph_report(config)
+    (finding,) = [f for f in report.findings if f.rule_id == "G001"]
+    assert finding.severity.value == "error"
+    assert "RoutingError" in finding.message
+
+
+# -- G002: unwired ports (both families are fully wired) -----------------------
+
+
+@pytest.mark.parametrize("config_fn", [torus_config, hyperx_config],
+                         ids=["torus", "hyperx"])
+def test_g002_torus_and_hyperx_have_no_unwired_ports(config_fn):
+    analysis = GraphAnalysis(Settings.from_dict(config_fn()))
+    assert analysis.constructed
+    assert analysis.unwired_ports == []
+
+
+# -- G003: invalid routing responses -------------------------------------------
+
+
+def test_g003_hyperx_dead_end_routing():
+    report = lint_config_dict(hyperx_config("hyperx_dead_end"))
+    findings = [f for f in report.findings if f.rule_id == "G003"]
+    assert findings, report.render_text()
+    assert all(f.severity.value == "error" for f in findings)
+    assert any("produced no route" in f.message for f in findings)
+
+
+# -- G004: cyclic escape CDG ---------------------------------------------------
+
+
+def test_g004_torus_without_dateline_deadlocks():
+    config = torus_config()
+    config["network"]["routing"]["algorithm"] = "naive_torus_minimal"
+    report = lint_config_dict(config)
+    (finding,) = [f for f in report.findings if f.rule_id == "G004"]
+    assert "deadlock" in finding.message
+
+
+def test_g004_hyperx_ring_stepping_deadlocks():
+    """Treating the all-to-all dimension like a torus ring is deadlock."""
+    report = lint_config_dict(hyperx_config("hyperx_ring_step"))
+    (finding,) = [f for f in report.findings if f.rule_id == "G004"]
+    assert finding.severity.value == "error"
+    assert "deadlock" in finding.message
+
+
+# -- G005: adaptive-class cycle with an acyclic escape -------------------------
+
+
+def test_g005_torus_adaptive_is_info():
+    config = torus_config()
+    config["network"]["num_vcs"] = 4
+    config["network"]["routing"]["algorithm"] = "torus_minimal_adaptive"
+    report = lint_config_dict(config)
+    assert _rule_ids(report) == ["G005"]
+    assert report.findings[0].severity.value == "info"
+
+
+@pytest.mark.parametrize("algorithm,num_vcs", [
+    ("hyperx_dimension_order", 1),
+    ("hyperx_dimension_order", 2),
+    ("hyperx_valiant", 4),
+], ids=["dor-1vc", "dor-2vc", "valiant"])
+def test_hyperx_packaged_algorithms_have_acyclic_cdgs(algorithm, num_vcs):
+    """No G004/G005 for the shipped HyperX algorithms: with hop-indexed
+    VCs (and DOR even on one VC) both CDGs are fully acyclic."""
+    analysis = GraphAnalysis(
+        Settings.from_dict(hyperx_config(algorithm, num_vcs=num_vcs))
+    )
+    assert analysis.constructed
+    assert analysis.pairs_traced > 0
+    assert analysis.full_cycle is None
+    assert analysis.escape_cycle is None
+
+
+# -- G006: trace anomalies -----------------------------------------------------
+
+
+def test_g006_hyperx_wrong_terminal_ejection():
+    report = lint_config_dict(
+        hyperx_config("hyperx_wrong_eject", concentration=2)
+    )
+    findings = [f for f in report.findings if f.rule_id == "G006"]
+    assert findings, report.render_text()
+    assert all(f.severity.value == "warning" for f in findings)
+    assert any("would eject at interface" in f.message for f in findings)
+
+
+@pytest.mark.parametrize("config_fn", [torus_config, hyperx_config],
+                         ids=["torus", "hyperx"])
+def test_shipped_topologies_lint_clean(config_fn):
+    """The packaged torus and HyperX configurations produce no graph
+    findings at all: fully wired, acyclic, every probe ejects home."""
+    report = lint_config_dict(config_fn())
+    assert report.findings == [], report.render_text()

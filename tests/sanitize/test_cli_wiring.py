@@ -1,0 +1,101 @@
+"""CLI wiring: ``supersim --sanitize`` and ``sssweep --smoke``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import tests.sanitize.fixtures.broken_models  # noqa: F401  registers models
+from repro.__main__ import main as supersim_main
+from repro.tools.cli import sssweep_main
+from tests.conftest import small_torus_config
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "torus.json"
+    config = small_torus_config()
+    config["workload"]["applications"][0]["generate_duration"] = 400
+    path.write_text(json.dumps(config))
+    return str(path)
+
+
+@pytest.fixture
+def leaky_config_file(tmp_path):
+    path = tmp_path / "leaky.json"
+    config = small_torus_config()
+    config["network"]["router"]["architecture"] = "leaky_credit"
+    path.write_text(json.dumps(config))
+    return str(path)
+
+
+def test_sanitize_all_clean_run_reports(config_file, capsys):
+    code = supersim_main([config_file, "--sanitize=all"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    report = summary["sanitizers"]
+    assert sorted(report) == ["credit", "det", "event", "flit"]
+    for san in report.values():
+        assert san["checks"] > 0
+    assert report["flit"]["in_flight"] == 0
+
+
+def test_sanitize_subset_spec(config_file, capsys):
+    code = supersim_main([config_file, "--sanitize", "det,credit"])
+    assert code == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert sorted(summary["sanitizers"]) == ["credit", "det"]
+
+
+def test_sanitize_unknown_name_is_a_clean_cli_error(config_file, capsys):
+    code = supersim_main([config_file, "--sanitize=bogus", "--quiet"])
+    assert code == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+@pytest.mark.mutation
+def test_sanitize_violation_exits_3(leaky_config_file, capsys):
+    code = supersim_main([leaky_config_file, "--sanitize=credit", "--quiet"])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "sanitizer violation" in err
+    assert "[credit]" in err
+
+
+def test_sssweep_smoke_gate_passes_on_clean_base(config_file, capsys):
+    code = sssweep_main([
+        config_file,
+        "--var", "S=simulator.seed=uint=1,2",
+        "--max-time", "300",
+        "--smoke", "--smoke-ticks", "300",
+    ])
+    assert code == 0
+    assert "smoke: base point clean" in capsys.readouterr().err
+
+
+@pytest.mark.mutation
+def test_sssweep_smoke_gate_blocks_broken_base(leaky_config_file, capsys):
+    code = sssweep_main([
+        leaky_config_file,
+        "--var", "S=simulator.seed=uint=1,2",
+        "--smoke",
+        "--quiet",
+    ])
+    assert code == 3
+    err = capsys.readouterr().err
+    assert "sanitized smoke run failed" in err
+    assert "not launching sweep workers" in err
+
+
+def test_supersim_sweep_with_sanitize_runs_smoke(config_file, capsys):
+    code = supersim_main([
+        config_file,
+        "--sweep", "S=simulator.seed=uint=1,2",
+        "--sanitize=all",
+        "--max-time", "300",
+        "--workers", "1",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "smoke: base point clean" in captured.err
