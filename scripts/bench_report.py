@@ -8,12 +8,18 @@ be taken on every PR:
 * ``event_queue_throughput``: 200k self-rescheduling events, freelist on.
 * ``event_queue_throughput_no_freelist``: the same with the event pool
   disabled (the before/after comparison for the engine optimizations).
+* ``simulation_event_rate``: a full flit-level simulation (4x4 torus,
+  IQ routers, 30% load) -- the headline model-layer metric; wall time
+  includes network construction, matching the benchmarks/ methodology.
+* ``simulation_event_rate_folded_clos``: the same metric on a scaled
+  folded-Clos / OQ-router / adaptive-routing workload (case study A).
 * ``sweep_worker_scaling`` (``--sweep``): a 16-job sweep at workers=1
   vs workers=4, verifying identical rows and recording both wall times.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py [--rounds N] [--sweep]
+                                                  [--skip-sim]
 
 Each measurement appends one entry to ``BENCH_engine.json`` at the repo
 root; the best (minimum) time over ``--rounds`` is reported.
@@ -103,6 +109,67 @@ def bench_event_queue(rounds: int) -> None:
               f"({rate / 1000:.0f}k events/s)")
 
 
+def _simulation_workloads():
+    from repro.configs import latent_congestion_config
+    from tests.conftest import small_torus_config
+
+    torus = small_torus_config()
+    torus["workload"]["applications"][0]["injection_rate"] = 0.3
+    clos = latent_congestion_config(injection_rate=0.25, warmup=200, window=500)
+    return (
+        ("simulation_event_rate", torus, 100_000),
+        ("simulation_event_rate_folded_clos", clos, 5_000),
+    )
+
+
+def _timed_simulation(config: dict, max_time: int):
+    """One timed build+run, isolated from process-global packet ids.
+
+    Packet ids feed routing decisions (see ``repro.lint.graph``), so the
+    counter is restored after each round: every round then simulates the
+    exact same event sequence and the timings are comparable.
+    """
+    import copy
+    import itertools
+
+    from repro import Settings, Simulation
+    from repro.net import packet as packet_mod
+
+    saved = next(packet_mod._global_packet_ids)
+    packet_mod._global_packet_ids = itertools.count(saved)
+    try:
+        start = time.perf_counter()
+        simulation = Simulation(
+            Settings.from_dict(copy.deepcopy(config))
+        )
+        simulation.run(max_time=max_time)
+        elapsed = time.perf_counter() - start
+        return elapsed, simulation.simulator.executed_events
+    finally:
+        packet_mod._global_packet_ids = itertools.count(saved)
+
+
+def bench_simulation_rate(rounds: int) -> None:
+    for name, config, max_time in _simulation_workloads():
+        best, events = min(
+            (_timed_simulation(config, max_time) for _ in range(rounds)),
+            key=lambda pair: pair[0],
+        )
+        rate = events / best
+        record(
+            name,
+            {
+                "events": events,
+                "seconds": best,
+                "events_per_sec": rate,
+                "max_time": max_time,
+                "rounds": rounds,
+            },
+        )
+        print(f"{name}: {events} events in {best:.2f} s "
+              f"({rate / 1000:.0f}k events/s)")
+
+
 def _scaling_sweep() -> Sweep:
     from tests.conftest import small_torus_config
 
@@ -153,8 +220,12 @@ def main() -> int:
                         help="repetitions per microbenchmark (best is kept)")
     parser.add_argument("--sweep", action="store_true",
                         help="also run the (slower) sweep scaling benchmark")
+    parser.add_argument("--skip-sim", action="store_true",
+                        help="skip the full-simulation event-rate benchmarks")
     args = parser.parse_args()
     bench_event_queue(args.rounds)
+    if not args.skip_sim:
+        bench_simulation_rate(args.rounds)
     if args.sweep:
         bench_sweep_scaling()
     print(f"appended to {BENCH_FILE}")

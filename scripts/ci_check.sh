@@ -73,6 +73,16 @@ run_gate "sslint --list-rules" \
 run_gate "sanitize smoke (builtin configs)" \
     python scripts/sanitize_smoke.py
 
+# 7. Perf-regression smoke: simulation_event_rate must stay within 25%
+#    of the latest BENCH_engine.json entry.  SUPERSIM_SKIP_PERF=1 opts
+#    out on machines not comparable to the recorded history.
+if [ "${SUPERSIM_SKIP_PERF:-0}" != "0" ]; then
+    skip_gate "perf smoke (simulation_event_rate)" "SUPERSIM_SKIP_PERF set"
+else
+    run_gate "perf smoke (simulation_event_rate)" \
+        python scripts/perf_smoke.py
+fi
+
 echo
 if [ "${FAILURES}" -ne 0 ]; then
     echo "ci_check: ${FAILURES} gate(s) failed"

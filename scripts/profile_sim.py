@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Profile a simulation and report where the model layer spends time.
+
+By default profiles the benchmark workload of ``simulation_event_rate``
+(4x4 torus, IQ routers, 30% load -- see scripts/bench_report.py), so
+
+    PYTHONPATH=src python scripts/profile_sim.py
+
+answers "what is hot right now" in one command.  Alternatively profile
+any config:
+
+    PYTHONPATH=src python scripts/profile_sim.py --config myconfig.json
+    PYTHONPATH=src python scripts/profile_sim.py --config latent_congestion
+
+``--config`` accepts either a JSON settings file path or the name of a
+builtin config builder from ``repro.configs`` (the ``_config`` suffix is
+optional).  The report prints the top ``--top`` functions by cumulative
+and by internal time; ``--pstats PATH`` additionally dumps the raw
+profile for ``python -m pstats`` / snakeviz-style digging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pathlib
+import pstats
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import Settings, Simulation  # noqa: E402
+
+
+def resolve_config(spec: str | None) -> dict:
+    """A config dict from a file path, a builtin name, or the default."""
+    if spec is None:
+        sys.path.insert(0, str(REPO_ROOT))
+        from tests.conftest import small_torus_config
+
+        config = small_torus_config()
+        config["workload"]["applications"][0]["injection_rate"] = 0.3
+        return config
+    path = pathlib.Path(spec)
+    if path.exists():
+        import json
+
+        return json.loads(path.read_text(encoding="utf-8"))
+    from repro import configs
+
+    for name in (spec, f"{spec}_config"):
+        builder = getattr(configs, name, None)
+        if callable(builder):
+            return builder()
+    raise SystemExit(
+        f"profile_sim: {spec!r} is neither a config file nor a builtin "
+        "config builder from repro.configs"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="JSON settings file or builtin builder name from "
+        "repro.configs (default: the simulation_event_rate workload)",
+    )
+    parser.add_argument(
+        "--ticks",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="hard stop at this simulated tick (default 100000)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows per profile table (default 25)",
+    )
+    parser.add_argument(
+        "--pstats",
+        default=None,
+        metavar="PATH",
+        help="also dump the raw pstats profile to PATH",
+    )
+    args = parser.parse_args()
+
+    config = resolve_config(args.config)
+    simulation = Simulation(Settings.from_dict(config))
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    simulation.run(max_time=args.ticks)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    events = simulation.simulator.executed_events
+    print(
+        f"{events} events in {elapsed:.2f}s under the profiler "
+        f"({events / elapsed / 1000:.0f}k events/s; expect ~4-5x faster "
+        "unprofiled)\n"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    stats.sort_stats("tottime").print_stats(args.top)
+    if args.pstats:
+        stats.dump_stats(args.pstats)
+        print(f"pstats dump written to {args.pstats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

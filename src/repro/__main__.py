@@ -78,6 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
         "exits 3 at the first invariant violation",
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PSTATS",
+        help="run under cProfile and print the hottest functions to "
+        "stderr; with an argument, also dump the raw pstats data "
+        "to that path (inspect with scripts/profile_sim.py or "
+        "python -m pstats)",
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="SHORT=path=type=v1,v2,...",
@@ -131,6 +142,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("lint found errors; not simulating", file=sys.stderr)
             return 1
     simulation = Simulation(settings)
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.sanitize:
         from repro.factory.registry import FactoryError
         from repro.sanitize import SanitizerError, attach_sanitizers
@@ -151,6 +168,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         results = simulation.run(max_time=args.max_time)
         summary = results.summary()
+    if profiler is not None:
+        profiler.disable()
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile:
+            stats.dump_stats(args.profile)
+            print(f"pstats dump written to {args.profile}", file=sys.stderr)
 
     output = settings.child("output", default={})
     log_path = output.get("message_log", None)

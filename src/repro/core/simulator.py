@@ -49,8 +49,10 @@ Performance notes (see ``docs/PERFORMANCE.md`` for the full story):
 
 from __future__ import annotations
 
+import gc as _gc
 import heapq
 import time as _wallclock
+from heapq import heappush as _heappush
 from itertools import count as _count
 from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -227,7 +229,7 @@ class Simulator:
         event.epsilon = epsilon
         event.fired = False
         event._sim = self
-        heapq.heappush(self._queue, (key, next(self._seq), event))
+        _heappush(self._queue, (key, next(self._seq), event))
         if event.cancelled:
             # Scheduling an already-cancelled event still occupies a
             # queue slot; account for it so pending_events stays honest.
@@ -272,7 +274,7 @@ class Simulator:
             event._sim = self
         event.tick = tick
         event.epsilon = epsilon
-        heapq.heappush(self._queue, (key, next(self._seq), event))
+        _heappush(self._queue, (key, next(self._seq), event))
         return event
 
     @property
@@ -354,6 +356,13 @@ class Simulator:
             _wallclock.monotonic() + max_seconds if max_seconds is not None else None
         )
         self._running = True
+        # Pause the cyclic garbage collector for the duration of the run:
+        # the hot path churns tuples/lists that never form cycles, and
+        # generation-0 scans alone cost several percent of wall time.
+        # Reference counting still frees everything promptly.
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
         try:
             if self._sanitizer is not None:
                 self._run_sanitized(limit_tick, limit_epsilon, max_events, deadline)
@@ -370,6 +379,8 @@ class Simulator:
                 self._run_general(limit_tick, limit_epsilon, max_events, deadline)
         finally:
             self._running = False
+            if gc_was_enabled:
+                _gc.enable()
         for observer in self._observers:
             observer(self)
         return self.now

@@ -50,6 +50,9 @@ class PortedDevice(Component):
         self._flit_out: List[Optional[Channel]] = [None] * num_ports
         self._credit_out: List[Optional[CreditChannel]] = [None] * num_ports
         self._output_credits: List[Optional[CreditTracker]] = [None] * num_ports
+        # Interned credit singletons by VC, resolved once per device so
+        # the credit-return hot path skips the Credit.of classmethod.
+        self._credit_of = [Credit.of(vc) for vc in range(num_vcs)]
 
     # -- wiring (called by repro.net.network.wire) ---------------------------
 
@@ -127,4 +130,4 @@ class PortedDevice(Component):
         channel = self._credit_out[port]
         if channel is None:
             raise WiringError(f"{self.full_name}: port {port} has no credit-out channel")
-        channel.send_credit(Credit(vc))
+        channel.send_credit(self._credit_of[vc])

@@ -23,7 +23,7 @@ from repro.core.component import Component
 from repro.core.event import Event
 from repro.net.credit import Credit
 from repro.net.device import PortedDevice
-from repro.net.flit import Flit
+from repro.net.flit import FLIT_SLAB, Flit
 from repro.net.message import Message
 from repro.net.packet import Packet
 from repro.net.phases import EPS_STEP
@@ -119,6 +119,13 @@ class StandardInterface(Interface):
         self._next_flit_index = 0
         self._next_vc_choice = 0
         self._step_scheduled = False
+        # Unit-period channel clocks (the common case) take arithmetic
+        # fast paths instead of Clock edge calls in the injection loop.
+        self._chan_period1 = channel_clock.period == 1 and channel_clock.phase == 0
+        # Port-0 tracker/channel, cached lazily (wiring happens after
+        # construction).
+        self._tracker0 = None
+        self._channel0 = None
 
         # Ejection state: per-VC (packet, next expected flit index).
         self._reassembly: Dict[int, Tuple[Packet, int]] = {}
@@ -162,50 +169,67 @@ class StandardInterface(Interface):
         if self._step_scheduled or not self._packet_queue:
             return
         self._step_scheduled = True
-        tick = self.channel_clock.next_edge(self.simulator.tick)
-        now = self.simulator.now
-        if tick == now.tick and now.epsilon >= EPS_STEP:
-            tick = self.channel_clock.following_edge(now.tick)
-        self.schedule_at(self._inject_step, tick, epsilon=EPS_STEP)
+        simulator = self.simulator
+        if self._chan_period1:
+            tick = simulator.tick
+            if simulator.epsilon >= EPS_STEP:
+                tick += 1
+        else:
+            now_tick = simulator.tick
+            tick = self.channel_clock.next_edge(now_tick)
+            if tick == now_tick and simulator.epsilon >= EPS_STEP:
+                tick = self.channel_clock.following_edge(now_tick)
+        simulator.call_at(tick, self._inject_step, None, EPS_STEP)
 
     def _inject_step(self, event: Event) -> None:
         self._step_scheduled = False
-        if not self._packet_queue:
+        queue = self._packet_queue
+        if not queue:
             return
-        packet = self._packet_queue[0]
+        packet = queue[0]
         vc = packet.routing_state["injection_vc"]
-        tracker = self.output_credit_tracker(0)
-        channel = self.output_channel(0)
-        if tracker.has_credit(vc) and channel.can_send():
+        tracker = self._tracker0
+        if tracker is None:
+            tracker = self._tracker0 = self.output_credit_tracker(0)
+            self._channel0 = self.output_channel(0)
+        channel = self._channel0
+        simulator = self.simulator
+        now = simulator.tick
+        if tracker._credits[vc] > 0 and now >= channel._next_free_tick:
             flit = packet.flits[self._next_flit_index]
-            flit.vc = vc
-            now = self.simulator.tick
-            flit.send_tick = now
-            if flit.head:
+            handle = flit._handle
+            flit._vc[handle] = vc
+            flit._send[handle] = now
+            if flit._flags[handle] & 1:  # head
                 packet.injection_tick = now
+            # Via the public hook: subclasses (and fault-injection
+            # models) override send_flit to intercept injection.
             self.send_flit(0, flit)
             self.flits_injected += 1
             self._next_flit_index += 1
             if self._next_flit_index >= packet.num_flits:
-                self._packet_queue.popleft()
+                queue.popleft()
                 self._next_flit_index = 0
-        if self._packet_queue:
+        if queue:
             # Reschedule only when progress is possible without a credit
             # arriving first: when blocked purely on credits, sleep --
             # receive_credit wakes us.  This avoids per-cycle spin at
             # saturation.
-            packet = self._packet_queue[0]
+            packet = queue[0]
             vc = packet.routing_state["injection_vc"]
-            if tracker.has_credit(vc):
+            if tracker._credits[vc] > 0:
                 self._step_scheduled = True
-                self.schedule_at(
-                    self._inject_step,
-                    max(
-                        self.channel_clock.following_edge(self.simulator.tick),
+                if self._chan_period1:
+                    tick = now + 1
+                    free = channel._next_free_tick
+                    if free > tick:
+                        tick = free
+                else:
+                    tick = max(
+                        self.channel_clock.following_edge(now),
                         self.channel_clock.next_edge(channel.next_send_tick()),
-                    ),
-                    epsilon=EPS_STEP,
-                )
+                    )
+                simulator.call_at(tick, self._inject_step, None, EPS_STEP)
 
     def receive_credit(self, port: int, credit: Credit) -> None:
         self.output_credit_tracker(port).give(credit.vc)
@@ -222,9 +246,10 @@ class StandardInterface(Interface):
                 f"{self.full_name}: flit for terminal {message.destination} "
                 f"arrived at interface {self.interface_id}: {flit!r}"
             )
-        vc = flit.vc
+        handle = flit._handle
+        vc = flit._vc[handle]
         # §IV-D: right order within the packet, no interleaving within a VC.
-        if flit.head:
+        if flit._flags[handle] & 1:  # head
             if vc in self._reassembly:
                 other = self._reassembly[vc][0]
                 raise InterfaceError(
@@ -244,11 +269,11 @@ class StandardInterface(Interface):
                 f"packet {expected_packet.global_id} flit {expected_index}, "
                 f"got {flit!r}"
             )
-        flit.receive_tick = self.simulator.tick
+        flit._recv[handle] = self.simulator.tick
         self.flits_ejected += 1
         # The ejection buffer consumes the flit immediately: return credit.
         self.send_credit(port, vc)
-        if flit.tail:
+        if flit._flags[handle] & 2:  # tail
             del self._reassembly[vc]
             self._packet_done(packet)
         else:
@@ -265,5 +290,10 @@ class StandardInterface(Interface):
             self._packets_remaining.pop(message.id, None)
             self.messages_delivered += 1
             self._deliver_message(message)
+            # Delivery listeners (statistics) have copied what they
+            # need; recycle the message's flit slab handles.
+            release_packet = FLIT_SLAB.release_packet
+            for delivered in message.packets:
+                release_packet(delivered)
         else:
             self._packets_remaining[message.id] = remaining

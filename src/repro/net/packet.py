@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.net.flit import Flit
+from repro.net.flit import FLIT_SLAB, Flit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -53,9 +53,12 @@ class Packet:
         self.message = message
         self.id = packet_id
         self.global_id = next(_global_packet_ids)
+        # Acquire views from the slab: steady state recycles the flit
+        # objects of already-delivered messages instead of allocating.
+        acquire = FLIT_SLAB.acquire
+        last = num_flits - 1
         self.flits: List[Flit] = [
-            Flit(self, i, head=(i == 0), tail=(i == num_flits - 1))
-            for i in range(num_flits)
+            acquire(self, i, i == 0, i == last) for i in range(num_flits)
         ]
         self.hop_count = 0
         self.non_minimal = False

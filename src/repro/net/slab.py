@@ -1,0 +1,149 @@
+"""Slab-backed storage for hot per-flit state.
+
+A simulation creates every flit up front when a message is packetized
+and abandons them all when the message is delivered.  Allocating a
+fresh object per flit makes that churn the allocator's problem; the
+slab makes it an index increment instead.
+
+:class:`FlitSlab` keeps the mutable per-flit fields in parallel
+structure-of-arrays columns (``vc``, packed head/tail ``flags``,
+``send_tick``, ``receive_tick``) indexed by an integer *handle*.  Each
+handle is permanently bound to exactly one view object (a
+:class:`repro.net.flit.Flit`): acquiring a handle from the freelist
+returns the pooled view rebound to the new packet, so steady-state
+packet creation allocates no flit objects at all.  Views hold direct
+references to the column lists in slots, so field access is two loads
+and an index -- no dictionary lookups, no indirection through the slab.
+
+Handles are recycled through a LIFO freelist.  Release happens at
+message delivery, *after* the delivery listeners have run (statistics
+copy the timestamps they need into records first).  Released columns
+keep their last values until the handle is reacquired, so post-mortem
+inspection of a just-delivered packet still shows real data; holding a
+flit reference across a reacquisition is a bug, and the double-release
+check below catches the usual way that bug is made.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+HEAD_FLAG = 1
+TAIL_FLAG = 2
+
+#: Slots a view class must declare to be bindable to a slab handle:
+#: the handle itself plus direct references to the four column lists.
+FLIT_HANDLE_SLOTS = ("_handle", "_vc", "_flags", "_send", "_recv")
+
+
+class FlitSlab:
+    """Structure-of-arrays flit store with pooled view objects."""
+
+    __slots__ = (
+        "vc",
+        "flags",
+        "send_tick",
+        "receive_tick",
+        "_views",
+        "_live",
+        "_free",
+        "_view_type",
+        "acquired_total",
+        "released_total",
+    )
+
+    def __init__(self) -> None:
+        self.vc: List[int] = []
+        self.flags: List[int] = []  # HEAD_FLAG | TAIL_FLAG
+        self.send_tick: List[Optional[int]] = []
+        self.receive_tick: List[Optional[int]] = []
+        self._views: list = []  # handle -> its permanently-bound view
+        self._live = bytearray()
+        self._free: List[int] = []
+        self._view_type: Optional[type] = None
+        self.acquired_total = 0
+        self.released_total = 0
+
+    def bind_view_type(self, view_type: type) -> None:
+        """Set the class used to materialize views for fresh handles."""
+        self._view_type = view_type
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total handles ever created (high-water mark of live flits)."""
+        return len(self._views)
+
+    @property
+    def live(self) -> int:
+        """Handles currently acquired (in-flight flits)."""
+        return len(self._views) - len(self._free)
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "live": self.live,
+            "acquired_total": self.acquired_total,
+            "released_total": self.released_total,
+        }
+
+    # -- allocation --------------------------------------------------------
+
+    def adopt(self, view, packet, index: int, head: bool, tail: bool) -> None:
+        """Bind ``view`` to a fresh handle (directly-constructed flits)."""
+        handle = len(self._views)
+        self.vc.append(0)
+        self.flags.append((HEAD_FLAG if head else 0) | (TAIL_FLAG if tail else 0))
+        self.send_tick.append(None)
+        self.receive_tick.append(None)
+        self._views.append(view)
+        self._live.append(1)
+        view._handle = handle
+        view._vc = self.vc
+        view._flags = self.flags
+        view._send = self.send_tick
+        view._recv = self.receive_tick
+        view.packet = packet
+        view.index = index
+        self.acquired_total += 1
+
+    def acquire(self, packet, index: int, head: bool, tail: bool):
+        """Return a view bound to ``packet``, recycling a handle if any."""
+        free = self._free
+        if free:
+            handle = free.pop()
+            self._live[handle] = 1
+            self.vc[handle] = 0
+            self.flags[handle] = (HEAD_FLAG if head else 0) | (
+                TAIL_FLAG if tail else 0
+            )
+            self.send_tick[handle] = None
+            self.receive_tick[handle] = None
+            view = self._views[handle]
+            view.packet = packet
+            view.index = index
+            self.acquired_total += 1
+            return view
+        view = object.__new__(self._view_type)
+        self.adopt(view, packet, index, head, tail)
+        return view
+
+    def release(self, flit) -> None:
+        """Return ``flit``'s handle to the freelist.
+
+        Column values stay intact until the handle is reacquired.
+        """
+        handle = flit._handle
+        if not self._live[handle]:
+            raise RuntimeError(
+                f"double release of flit slab handle {handle}: {flit!r}"
+            )
+        self._live[handle] = 0
+        self._free.append(handle)
+        self.released_total += 1
+
+    def release_packet(self, packet) -> None:
+        """Release every flit of ``packet``."""
+        for flit in packet.flits:
+            self.release(flit)

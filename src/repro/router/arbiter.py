@@ -69,14 +69,24 @@ class RoundRobinArbiter(Arbiter):
     def arbitrate(self, requests: List[Request], now_tick: int = 0) -> Optional[int]:
         if not requests:
             return None
+        if len(requests) == 1:
+            # Forced winner; the pointer still rotates exactly as the
+            # general path would set it.
+            best = requests[0][0]
+            if not 0 <= best < self.size:
+                self._check(requests, self.size)
+            self._pointer = (best + 1) % self.size
+            return best
         self._check(requests, self.size)
+        pointer = self._pointer
+        size = self.size
         best = None
         best_rank = None
         for index, _meta in requests:
-            rank = (index - self._pointer) % self.size
+            rank = (index - pointer) % size
             if best_rank is None or rank < best_rank:
                 best, best_rank = index, rank
-        self._pointer = (best + 1) % self.size
+        self._pointer = (best + 1) % size
         return best
 
 

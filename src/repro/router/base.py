@@ -145,6 +145,19 @@ class Router(PortedDevice):
         # (port, vc) pairs whose input buffer holds at least one flit;
         # per-cycle stages scan only these instead of all ports x VCs.
         self._occupied_inputs: set = set()
+        # (port, vc) pairs that *may* have a new packet at the buffer
+        # front: fed by head-flit arrivals and tail pops, consumed by
+        # _update_input_vcs, so the routing stage touches only inputs
+        # with actual state changes instead of rescanning every cycle.
+        self._route_pending: List[Tuple[int, int]] = []
+        # (port, vc) pairs routed but not yet granted an output VC;
+        # losers stay queued for the next allocation cycle.
+        self._alloc_pending: List[Tuple[int, int]] = []
+
+        # Hot-path dispatch: _wake/_step run once per arrival/cycle, so
+        # the core-clock edge math is inlined for the ubiquitous
+        # period-1/phase-0 clock instead of calling into Clock.
+        self._core_period1 = core_clock.period == 1 and core_clock.phase == 0
 
         # Counters.
         self.flits_received = 0
@@ -193,19 +206,40 @@ class Router(PortedDevice):
 
     def receive_flit(self, port: int, flit: Flit) -> None:
         self.flits_received += 1
-        self._input_vcs[port][flit.vc].buffer.push(flit)  # overrun raises
-        self._occupied_inputs.add((port, flit.vc))
-        self._wake()
+        handle = flit._handle
+        vc = flit._vc[handle]
+        state = self._input_vcs[port][vc]
+        buffer = state.buffer
+        flits = buffer._flits
+        if buffer._capacity is not None and len(flits) >= buffer._capacity:
+            buffer.push(flit)  # raises BufferOverrunError with context
+        flits.append(flit)
+        self._occupied_inputs.add((port, vc))
+        if flit._flags[handle] & 1 or state.packet is None:
+            # A new packet may now be at the buffer front (or a protocol
+            # violation needs flagging); either way the routing stage
+            # must look at this input.
+            self._route_pending.append((port, vc))
+        if not self._step_scheduled:
+            self._wake()
 
     def receive_credit(self, port: int, credit: Credit) -> None:
-        self.output_credit_tracker(port).give(credit.vc)
-        self.sensor.record(SOURCE_DOWNSTREAM, port, credit.vc, -1)
-        self._wake()
+        vc = credit.vc
+        # Trackers are wired before the first credit can arrive; the
+        # give() call itself stays (CreditSan patches it).
+        self._output_credits[port].give(vc)
+        self.sensor.record(SOURCE_DOWNSTREAM, port, vc, -1)
+        if not self._step_scheduled:
+            self._wake()
 
     def send_flit_out(self, port: int, flit: Flit) -> None:
         """Transmit downstream, consuming a credit and notifying the sensor."""
-        self.send_flit(port, flit)
-        self.sensor.record(SOURCE_DOWNSTREAM, port, flit.vc, +1)
+        # Inlined PortedDevice.send_flit: the take-then-send order is the
+        # contract CreditSan's conservation check relies on.
+        vc = flit.vc
+        self._output_credits[port].take(vc)
+        self._flit_out[port].send_flit(flit)
+        self.sensor.record(SOURCE_DOWNSTREAM, port, vc, +1)
         self.flits_sent += 1
 
     # -- stepping --------------------------------------------------------------------
@@ -214,22 +248,28 @@ class Router(PortedDevice):
         if self._step_scheduled:
             return
         self._step_scheduled = True
-        tick = self.core_clock.next_edge(self.simulator.tick)
-        now = self.simulator.now
-        if tick == now.tick and now.epsilon >= EPS_STEP:
-            tick = self.core_clock.following_edge(now.tick)
-        self.schedule_at(self._step, tick, epsilon=EPS_STEP)
+        simulator = self.simulator
+        tick = simulator.tick
+        if self._core_period1:
+            if simulator.epsilon >= EPS_STEP:
+                tick += 1
+        else:
+            tick = self.core_clock.next_edge(tick)
+            if tick == simulator.tick and simulator.epsilon >= EPS_STEP:
+                tick = self.core_clock.following_edge(tick)
+        simulator.call_at(tick, self._step, None, EPS_STEP)
 
     def _step(self, event: Event) -> None:
         self._step_scheduled = False
         self._step_cycle()
         if self._has_work():
             self._step_scheduled = True
-            self.schedule_at(
-                self._step,
-                self.core_clock.following_edge(self.simulator.tick),
-                epsilon=EPS_STEP,
-            )
+            simulator = self.simulator
+            if self._core_period1:
+                tick = simulator.tick + 1
+            else:
+                tick = self.core_clock.following_edge(simulator.tick)
+            simulator.call_at(tick, self._step, None, EPS_STEP)
 
     def _step_cycle(self) -> None:
         raise NotImplementedError
@@ -243,10 +283,21 @@ class Router(PortedDevice):
     # -- shared input-VC machinery ------------------------------------------------------
 
     def _update_input_vcs(self) -> None:
-        """Route newly arrived head packets (front of each input VC)."""
-        for port, vc in self._occupied_inputs:
-            state = self._input_vcs[port][vc]
-            front = state.buffer.front()
+        """Route newly arrived head packets (front of each input VC).
+
+        Only inputs flagged by head-flit arrivals or tail pops are
+        examined (``_route_pending``); a streaming input never changes
+        its front packet without one of those triggers.
+        """
+        pending = self._route_pending
+        if not pending:
+            return
+        self._route_pending = []
+        input_vcs = self._input_vcs
+        for port, vc in pending:
+            state = input_vcs[port][vc]
+            flits = state.buffer._flits
+            front = flits[0] if flits else None
             if front is None or state.packet is front.packet:
                 continue
             if state.packet is not None:
@@ -262,10 +313,14 @@ class Router(PortedDevice):
                     f"input VC {port}.{vc}: {front!r} (§IV-D order check)"
                 )
             state.packet = front.packet
-            state.candidates = self.routing_algorithm(port).respond(
-                front.packet, vc
-            )
+            algorithm = self._routing[port]
+            if algorithm is None:
+                raise RoutingError(
+                    f"{self.full_name}: input port {port} is not wired"
+                )
+            state.candidates = algorithm.respond(front.packet, vc)
             state.allocated = False
+            self._alloc_pending.append((port, vc))
 
     def _allocate_vcs(self) -> None:
         """Claim output VCs for routed packets (VC allocation stage).
@@ -277,25 +332,59 @@ class Router(PortedDevice):
         default, age-based for parking-lot fairness, ...).  Losers try
         again next cycle.
         """
-        if not self._occupied_inputs:
+        pending = self._alloc_pending
+        if not pending:
             return
-        owner_table = self._output_vc_owner
-        requests: Dict[Tuple[int, int], list] = {}
-        for port, vc in self._occupied_inputs:
-            state = self._input_vcs[port][vc]
+        # Only inputs routed-but-unallocated live here: fed by the
+        # routing stage, granted entries leave below, losers stay for
+        # the next cycle.  Most cycles the list is empty and the whole
+        # stage is one truth test.
+        input_vcs = self._input_vcs
+        routable = []
+        for port, vc in pending:
+            state = input_vcs[port][vc]
             if state.packet is None or state.allocated:
                 continue
+            routable.append((port, vc, state))
+        if not routable:
+            self._alloc_pending = []
+            return
+        owner_table = self._output_vc_owner
+        admit = self._admit
+        if len(routable) == 1:
+            # One claimant: no arbitration possible; take the first free
+            # candidate directly (identical to the general path below).
+            port, vc, state = routable[0]
             for out_port, out_vc in state.candidates:
                 key = (out_port, out_vc)
                 if key in owner_table:
                     continue
-                if not self._admit(out_port, out_vc, state.packet):
+                if not admit(out_port, out_vc, state.packet):
+                    continue
+                owner_table[key] = (port, vc)
+                state.allocated = True
+                state.out_port = out_port
+                state.out_vc = out_vc
+                self._on_vc_allocated(port, vc, state)
+                self._alloc_pending = []
+                return
+            self._alloc_pending = [(port, vc)]
+            return
+        requests: Dict[Tuple[int, int], list] = {}
+        for port, vc, state in routable:
+            for out_port, out_vc in state.candidates:
+                key = (out_port, out_vc)
+                if key in owner_table:
+                    continue
+                if not admit(out_port, out_vc, state.packet):
                     continue
                 requests.setdefault(key, []).append((port, vc, state))
                 break  # one request per input VC per cycle
         if not requests:
+            self._alloc_pending = [(port, vc) for port, vc, _ in routable]
             return
         now = self.simulator.tick
+        num_vcs = self.num_vcs
         for key in sorted(requests):
             claimants = requests[key]
             if len(claimants) == 1:
@@ -305,15 +394,15 @@ class Router(PortedDevice):
                 if arbiter is None:
                     arbiter = create_arbiter(
                         self._vc_arbiter_settings,
-                        self.num_ports * self.num_vcs,
+                        self.num_ports * num_vcs,
                     )
                     self._vc_arbiters[key] = arbiter
                 flat = {
-                    port * self.num_vcs + vc: (port, vc, state)
-                    for port, vc, state in claimants
+                    in_port * num_vcs + in_vc: (in_port, in_vc, in_state)
+                    for in_port, in_vc, in_state in claimants
                 }
                 winner = arbiter.arbitrate(
-                    [(index, state.packet) for index, (_p, _v, state)
+                    [(index, entry[2].packet) for index, entry
                      in flat.items()],
                     now,
                 )
@@ -324,6 +413,10 @@ class Router(PortedDevice):
             state.out_port = out_port
             state.out_vc = out_vc
             self._on_vc_allocated(port, vc, state)
+        # Winners leave the queue; losers retry next cycle.
+        self._alloc_pending = [
+            (port, vc) for port, vc, state in routable if not state.allocated
+        ]
 
     def _admit(self, out_port: int, out_vc: int, packet: Packet) -> bool:
         """Architecture hook: extra admission checks at VC allocation."""
@@ -336,12 +429,17 @@ class Router(PortedDevice):
         """Dequeue the front flit, return its credit upstream, and manage
         ownership release at the tail."""
         state = self._input_vcs[port][vc]
-        flit = state.buffer.pop()
-        if state.buffer.is_empty():
+        flits = state.buffer._flits
+        flit = flits.popleft()  # IndexError on misuse, like FlitBuffer.pop
+        empty = not flits
+        if empty:
             self._occupied_inputs.discard((port, vc))
-        flit.vc = state.out_vc
+        handle = flit._handle
+        flit._vc[handle] = state.out_vc
+        # Via the public hook: subclasses (and fault-injection models)
+        # override send_credit to intercept the upstream credit return.
         self.send_credit(port, vc)
-        if flit.tail:
+        if flit._flags[handle] & 2:  # tail
             owner_key = (state.out_port, state.out_vc)
             owner = self._output_vc_owner.get(owner_key)
             if owner != (port, vc):
@@ -352,6 +450,9 @@ class Router(PortedDevice):
             del self._output_vc_owner[owner_key]
             flit.packet.hop_count += 1
             state.reset()
+            if not empty:
+                # The next queued packet's head is now at the front.
+                self._route_pending.append((port, vc))
         return flit
 
     def input_occupancy(self, port: int, vc: int) -> int:

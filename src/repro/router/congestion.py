@@ -118,8 +118,8 @@ class CreditSensor(CongestionSensor):
         # capacity per (source, port, vc); None = infinite
         self._capacity: Dict[Tuple[str, int, int], Optional[int]] = {}
         self._ports_with: Dict[str, set] = {SOURCE_OUTPUT: set(), SOURCE_DOWNSTREAM: set()}
-        # pending (visible_tick, source, port, vc, delta), FIFO by visible_tick
-        self._pending: Deque[Tuple[int, str, int, int, int]] = deque()
+        # pending (visible_tick, (source, port, vc), delta), FIFO by visible_tick
+        self._pending: Deque[Tuple[int, Tuple[str, int, int], int]] = deque()
         # Per-tick memo: visible values only change when pending entries
         # cross `now`, which cannot happen twice within one tick when the
         # propagation latency is >= 1, so repeated status() queries in the
@@ -154,14 +154,15 @@ class CreditSensor(CongestionSensor):
         key = (source, port, vc)
         if key not in self._visible:
             raise KeyError(f"{self.full_name}: record for uninitialized {key}")
-        self._pending.append((self.simulator.tick + self.latency, source, port, vc, delta))
+        self._pending.append((self.simulator.tick + self.latency, key, delta))
 
     def _drain(self) -> None:
         now = self.simulator.tick
         pending = self._pending
+        visible = self._visible
         while pending and pending[0][0] <= now:
-            _tick, source, port, vc, delta = pending.popleft()
-            self._visible[(source, port, vc)] += delta
+            _tick, key, delta = pending.popleft()
+            visible[key] += delta
 
     # -- queries ------------------------------------------------------------------
 

@@ -134,13 +134,16 @@ class CrossbarScheduler:
             by_output.setdefault(bid.out_port, []).append(bid)
 
         grants: List[Bid] = []
-        # Outputs locked by owners that did not bid this cycle still need
-        # WTA unlock processing, so visit all locked outputs too.
-        outputs = set(by_output) | set(self._locks)
-        for out_port in sorted(outputs):
-            granted = self._schedule_output(
-                out_port, by_output.get(out_port, []), now_tick
-            )
+        if self._locks:
+            # Outputs locked by owners that did not bid this cycle still
+            # need WTA unlock processing, so visit all locked outputs too.
+            outputs = sorted(set(by_output) | set(self._locks))
+        else:
+            outputs = sorted(by_output)
+        schedule_output = self._schedule_output
+        get_bids = by_output.get
+        for out_port in outputs:
+            granted = schedule_output(out_port, get_bids(out_port, ()), now_tick)
             if granted is not None:
                 grants.append(granted)
         return grants
@@ -148,7 +151,7 @@ class CrossbarScheduler:
     def _schedule_output(
         self, out_port: int, bids: List[Bid], now_tick: int
     ) -> Optional[Bid]:
-        owner = self._locks.get(out_port)
+        owner = self._locks.get(out_port) if self._locks else None
 
         if owner is not None:
             owner_bid = next((b for b in bids if b.key() == owner), None)
@@ -174,14 +177,38 @@ class CrossbarScheduler:
                 owner = None
             # FLIT_BUFFER never locks, so owner is never set for it.
 
-        eligible = [b for b in bids if self._eligible(out_port, b)]
+        credits_available = self.credits_available
+        num_vcs = self.num_vcs
+        if self.flow_control == PACKET_BUFFER:
+            # Enough space for the whole remaining packet up front.
+            eligible = [
+                b for b in bids
+                if credits_available(out_port, b.out_vc) >= b.remaining_flits
+            ]
+        else:
+            eligible = [
+                b for b in bids if credits_available(out_port, b.out_vc) >= 1
+            ]
         if not eligible:
             return None
-        requests = [(self._flat(b.in_port, b.in_vc), b.packet) for b in eligible]
-        winner_index = self._arbiters[out_port].arbitrate(requests, now_tick)
-        winner = next(
-            b for b in eligible if self._flat(b.in_port, b.in_vc) == winner_index
-        )
+        if len(eligible) == 1:
+            # Uncontested: the winner is forced, but the arbiter still
+            # sees the request so its rotation/priority state advances
+            # exactly as with the general path.
+            winner = eligible[0]
+            self._arbiters[out_port].arbitrate(
+                [(winner.in_port * num_vcs + winner.in_vc, winner.packet)],
+                now_tick,
+            )
+        else:
+            requests = [
+                (b.in_port * num_vcs + b.in_vc, b.packet) for b in eligible
+            ]
+            winner_index = self._arbiters[out_port].arbitrate(requests, now_tick)
+            winner = next(
+                b for b in eligible
+                if b.in_port * num_vcs + b.in_vc == winner_index
+            )
         if self.flow_control in (PACKET_BUFFER, WINNER_TAKE_ALL):
             self._locks[out_port] = winner.key()
         return self._grant(out_port, winner)

@@ -30,7 +30,7 @@ from repro.net.phases import EPS_PIPELINE
 from repro.router.arbiter import Arbiter, create_arbiter
 from repro.router.base import Router
 from repro.router.congestion import SOURCE_OUTPUT
-from repro.router.crossbar_scheduler import Bid, CrossbarScheduler
+from repro.router.crossbar_scheduler import FLIT_BUFFER, Bid, CrossbarScheduler
 
 
 @factory.register(Router, "input_output_queued")
@@ -78,9 +78,14 @@ class InputOutputQueuedRouter(Router):
             create_arbiter(arbiter_settings, self.num_vcs)
             for _ in range(self.num_ports)
         ]
+        # Flit-buffer flow control never locks, which unlocks a slim
+        # uncontested-grant path in _run_crossbar.
+        self._fb_mode = self.scheduler.flow_control == FLIT_BUFFER
         self._in_flight = 0
         # Flits sitting in output queues per port (drain-stage fast path).
         self._queued_count = [0] * self.num_ports
+        # Sum over _queued_count, so _has_work is O(1).
+        self._queued_total = 0
 
     def _output_queue_credits(self, out_port: int, out_vc: int) -> int:
         return self._oq_credits[out_port].available(out_vc)
@@ -102,66 +107,109 @@ class InputOutputQueuedRouter(Router):
         self._run_crossbar()
 
     def _has_work(self) -> bool:
-        if self._any_input_flits() or self._in_flight > 0:
-            return True
-        return any(count > 0 for count in self._queued_count)
+        return (
+            bool(self._occupied_inputs)
+            or self._in_flight > 0
+            or self._queued_total > 0
+        )
 
     def _drain_outputs(self) -> None:
         """Per channel cycle, send one flit per port downstream."""
+        queued_count = self._queued_count
+        if self._queued_total == 0:
+            return
+        flit_out = self._flit_out
+        queues = self._queues
+        trackers = self._output_credits
+        oq_credits = self._oq_credits
+        arbiters = self._output_arbiters
+        sensor_record = self.sensor.record
+        now = self.simulator.tick
         for port in range(self.num_ports):
-            if self._queued_count[port] == 0:
+            if queued_count[port] == 0:
                 continue
-            if not self.output_channel(port).can_send():
+            channel = flit_out[port]
+            if now < channel._next_free_tick:
                 continue
-            tracker = self.output_credit_tracker(port)
+            credits = trackers[port]._credits
             requests = []
-            for vc in range(self.num_vcs):
-                front = self._queues[port][vc].front()
-                if front is not None and tracker.has_credit(vc):
-                    requests.append((vc, front.packet))
+            for vc, queue in enumerate(queues[port]):
+                flits = queue._flits
+                if flits and credits[vc] > 0:
+                    requests.append((vc, flits[0].packet))
             if not requests:
                 continue
-            now = self.simulator.tick
-            vc = self._output_arbiters[port].arbitrate(requests, now)
-            flit = self._queues[port][vc].pop()
-            self._queued_count[port] -= 1
-            self._oq_credits[port].give(vc)
-            self.sensor.record(SOURCE_OUTPUT, port, vc, -1)
+            vc = arbiters[port].arbitrate(requests, now)
+            flit = queues[port][vc].pop()
+            queued_count[port] -= 1
+            self._queued_total -= 1
+            oq_credits[port].give(vc)
+            sensor_record(SOURCE_OUTPUT, port, vc, -1)
             self.send_flit_out(port, flit)
 
     def _run_crossbar(self) -> None:
-        bids: List[Bid] = []
+        bidders = []
+        input_vcs = self._input_vcs
         for port, vc in self._occupied_inputs:
-            state = self._input_vcs[port][vc]
+            state = input_vcs[port][vc]
             if not state.allocated:
                 continue
-            front = state.buffer.front()
-            if front is None:
+            flits = state.buffer._flits
+            if not flits:
                 continue
-            bids.append(
-                Bid(port, vc, state.packet, front, state.out_port, state.out_vc)
-            )
-        if not bids and not any(
-            self.scheduler.locked_owner(p) is not None for p in range(self.num_ports)
-        ):
+            bidders.append((port, vc, state, flits[0]))
+        scheduler = self.scheduler
+        locks = scheduler._locks
+        if not bidders and not locks:
             return
-        now = self.simulator.tick
-        for grant in self.scheduler.schedule(bids, now):
-            out_port, out_vc = grant.out_port, grant.out_vc
-            flit = self._pop_input_flit(grant.in_port, grant.in_vc)
-            self._oq_credits[out_port].take(out_vc)
-            self.sensor.record(SOURCE_OUTPUT, out_port, out_vc, +1)
-            self._in_flight += 1
-            self.schedule(
-                self._core_arrival,
-                self.core_latency,
-                epsilon=EPS_PIPELINE,
-                data=(flit, out_port, out_vc),
+        simulator = self.simulator
+        now = simulator.tick
+        oq_credits = self._oq_credits
+        if len(bidders) == 1 and not locks and self._fb_mode:
+            # Uncontested flit-buffer grant: same decision the scheduler
+            # would make, without Bid/schedule overhead.  The output
+            # arbiter still sees the request so rotation state stays
+            # bit-identical with the general path.
+            port, vc, state, flit = bidders[0]
+            out_port, out_vc = state.out_port, state.out_vc
+            if oq_credits[out_port]._credits[out_vc] < 1:
+                return
+            scheduler._arbiters[out_port].arbitrate(
+                [(port * scheduler.num_vcs + vc, state.packet)], now
             )
+            grants = ((port, vc, out_port, out_vc),)
+        else:
+            bids = [
+                Bid(port, vc, state.packet, flit, state.out_port, state.out_vc)
+                for port, vc, state, flit in bidders
+            ]
+            grants = [
+                (g.in_port, g.in_vc, g.out_port, g.out_vc)
+                for g in scheduler.schedule(bids, now)
+            ]
+            if not grants:
+                return
+        pop_input_flit = self._pop_input_flit
+        sensor_record = self.sensor.record
+        call_at = simulator.call_at
+        core_arrival = self._core_arrival
+        core_latency = self.core_latency
+        if core_latency:
+            arrival_tick, arrival_eps = now + core_latency, EPS_PIPELINE
+        else:
+            arrival_tick = now
+            arrival_eps = max(EPS_PIPELINE, simulator.epsilon + 1)
+        for in_port, in_vc, out_port, out_vc in grants:
+            flit = pop_input_flit(in_port, in_vc)
+            oq_credits[out_port].take(out_vc)
+            sensor_record(SOURCE_OUTPUT, out_port, out_vc, +1)
+            self._in_flight += 1
+            call_at(arrival_tick, core_arrival, (flit, out_port, out_vc), arrival_eps)
 
     def _core_arrival(self, event: Event) -> None:
         flit, out_port, out_vc = event.data
         self._queues[out_port][out_vc].push(flit)
         self._queued_count[out_port] += 1
+        self._queued_total += 1
         self._in_flight -= 1
         self._wake()

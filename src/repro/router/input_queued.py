@@ -25,10 +25,11 @@ from typing import Deque, List
 from repro import factory
 from repro.core.event import Event
 from repro.net.flit import Flit
-from repro.net.phases import EPS_PIPELINE
+from repro.net.phases import EPS_PIPELINE, EPS_STEP
 from repro.router.base import Router
 from repro.router.congestion import SOURCE_DOWNSTREAM
-from repro.router.crossbar_scheduler import Bid, CrossbarScheduler
+from repro.router.arbiter import RoundRobinArbiter
+from repro.router.crossbar_scheduler import FLIT_BUFFER, Bid, CrossbarScheduler
 
 
 @factory.register(Router, "input_queued")
@@ -56,9 +57,20 @@ class InputQueuedRouter(Router):
             scheduler_settings,
             credits_available=self._downstream_credits,
         )
+        # Flit-buffer flow control never locks, which unlocks a slim
+        # uncontested-grant path in _run_crossbar.
+        self._fb_mode = self.scheduler.flow_control == FLIT_BUFFER
         self._staging: List[Deque[Flit]] = [deque() for _ in range(self.num_ports)]
         # Committed staging slots per port: staged + in flight through core.
         self._staging_committed = [0] * self.num_ports
+        # Sum over _staging_committed, so _has_work is O(1).
+        self._committed_total = 0
+        # Flits actually sitting in staging registers (vs. in the core):
+        # lets the drain stage skip its port scan entirely when zero.
+        self._staged_total = 0
+        # Ports with a non-empty staging register (drain worklist);
+        # a port appears exactly once while its register is non-empty.
+        self._staged_ports: List[int] = []
 
     def _downstream_credits(self, out_port: int, out_vc: int) -> int:
         return self.output_credit_tracker(out_port).available(out_vc)
@@ -72,57 +84,201 @@ class InputQueuedRouter(Router):
         self._run_crossbar()
 
     def _has_work(self) -> bool:
-        if self._any_input_flits():
-            return True
-        return any(count > 0 for count in self._staging_committed)
+        return bool(self._occupied_inputs) or self._committed_total > 0
+
+    def _step(self, event: Event) -> None:
+        """Fused per-cycle hot path.
+
+        Same stage order as :meth:`_step_cycle` (drain -> route ->
+        allocate -> crossbar) with the stage dispatch, the scheduler
+        round-trip for uncontested flit-buffer grants, and the input-pop
+        bookkeeping all inlined.  ``_step_cycle`` stays as the readable
+        specification (and the path unit tests drive directly).
+        """
+        simulator = self.simulator
+        now = simulator.tick
+
+        # Drain staging registers onto free channels.
+        if self._staged_total:
+            committed = self._staging_committed
+            flit_out = self._flit_out
+            staging_regs = self._staging
+            keep = []
+            for port in self._staged_ports:
+                staging = staging_regs[port]
+                channel = flit_out[port]
+                if now >= channel._next_free_tick:
+                    committed[port] -= 1
+                    self._committed_total -= 1
+                    self._staged_total -= 1
+                    # Credit was taken at grant time: send without re-taking.
+                    channel.send_flit(staging.popleft())
+                    self.flits_sent += 1
+                    if not staging:
+                        continue
+                keep.append(port)
+            self._staged_ports = keep
+
+        # Route new head packets, then claim output VCs.
+        if self._route_pending:
+            self._update_input_vcs()
+        if self._alloc_pending:
+            self._allocate_vcs()
+
+        # Crossbar.
+        occupied = self._occupied_inputs
+        scheduler = self.scheduler
+        if occupied or scheduler._locks:
+            self._run_crossbar()
+
+        # Reschedule while work remains, else sleep until woken.
+        if occupied or self._committed_total:
+            if self._core_period1:
+                tick = now + 1
+            else:
+                tick = self.core_clock.following_edge(now)
+            simulator.call_at(tick, self._step, None, EPS_STEP)
+        else:
+            self._step_scheduled = False
 
     def _drain_staging(self) -> None:
-        for port in range(self.num_ports):
-            staging = self._staging[port]
-            if not staging:
-                continue
-            if not self.output_channel(port).can_send():
-                continue
-            flit = staging.popleft()
-            self._staging_committed[port] -= 1
-            # Credit was taken at grant time: send without re-taking.
-            self.output_channel(port).send_flit(flit)
-            self.flits_sent += 1
+        if self._staged_total == 0:
+            return
+        committed = self._staging_committed
+        flit_out = self._flit_out
+        staging_regs = self._staging
+        tick = self.simulator.tick
+        keep = []
+        for port in self._staged_ports:
+            staging = staging_regs[port]
+            channel = flit_out[port]
+            if tick >= channel._next_free_tick:
+                committed[port] -= 1
+                self._committed_total -= 1
+                self._staged_total -= 1
+                # Credit was taken at grant time: send without re-taking.
+                channel.send_flit(staging.popleft())
+                self.flits_sent += 1
+                if not staging:
+                    continue
+            keep.append(port)
+        self._staged_ports = keep
 
     def _run_crossbar(self) -> None:
-        bids: List[Bid] = []
+        input_vcs = self._input_vcs
+        committed = self._staging_committed
+        staging_limit = self._staging_limit
+        bidders = []
+        out_mask = 0
+        contested = False
         for port, vc in self._occupied_inputs:
-            state = self._input_vcs[port][vc]
+            state = input_vcs[port][vc]
             if not state.allocated:
                 continue
-            front = state.buffer.front()
-            if front is None:
+            if not state.buffer._flits:
                 continue
-            if self._staging_committed[state.out_port] >= self._staging_limit:
+            out_port = state.out_port
+            if committed[out_port] >= staging_limit:
                 continue
-            bids.append(
-                Bid(port, vc, state.packet, front, state.out_port, state.out_vc)
-            )
-        if not bids and not any(
-            self.scheduler.locked_owner(p) is not None for p in range(self.num_ports)
-        ):
+            bit = 1 << out_port
+            if out_mask & bit:
+                contested = True
+            out_mask |= bit
+            bidders.append((port, vc, state))
+        scheduler = self.scheduler
+        locks = scheduler._locks
+        if not bidders and not locks:
             return
-        now = self.simulator.tick
-        for grant in self.scheduler.schedule(bids, now):
-            out_port, out_vc = grant.out_port, grant.out_vc
-            flit = self._pop_input_flit(grant.in_port, grant.in_vc)
+        simulator = self.simulator
+        now = simulator.tick
+        trackers = self._output_credits
+        sensor_record = self.sensor.record
+        call_at = simulator.call_at
+        core_arrival = self._core_arrival
+        core_latency = self.core_latency
+        if core_latency:
+            arrival_tick, arrival_eps = now + core_latency, EPS_PIPELINE
+        else:
+            arrival_tick = now
+            arrival_eps = max(EPS_PIPELINE, simulator.epsilon + 1)
+        if contested or locks or not self._fb_mode:
+            # Contested outputs (or locking flow control): the full
+            # scheduler decides.
+            bids = [
+                Bid(port, vc, state.packet, state.buffer._flits[0],
+                    state.out_port, state.out_vc)
+                for port, vc, state in bidders
+            ]
+            granted = scheduler.schedule(bids, now)
+            if not granted:
+                return
+            pop_input_flit = self._pop_input_flit
+            for g in granted:
+                out_port, out_vc = g.out_port, g.out_vc
+                flit = pop_input_flit(g.in_port, g.in_vc)
+                # Consume the downstream credit now; the flit is prepaid.
+                trackers[out_port].take(out_vc)
+                sensor_record(SOURCE_DOWNSTREAM, out_port, out_vc, +1)
+                committed[out_port] += 1
+                self._committed_total += 1
+                call_at(arrival_tick, core_arrival, (flit, out_port), arrival_eps)
+            return
+        # Flit-buffer flow control with every bidder targeting a distinct
+        # output: each output arbiter sees exactly one request, so every
+        # decision the scheduler would make is forced.  Grant inline,
+        # with _pop_input_flit unrolled (the state is already in hand).
+        arbiters = scheduler._arbiters
+        num_vcs = scheduler.num_vcs
+        send_credit = self.send_credit
+        occupied = self._occupied_inputs
+        owner_table = self._output_vc_owner
+        for port, vc, state in bidders:
+            out_port = state.out_port
+            out_vc = state.out_vc
+            tracker = trackers[out_port]
+            if tracker._credits[out_vc] < 1:
+                continue
+            # The arbiter still rotates exactly as its single-request
+            # path would, keeping contested rounds bit-identical.
+            arbiter = arbiters[out_port]
+            if type(arbiter) is RoundRobinArbiter:
+                arbiter._pointer = (port * num_vcs + vc + 1) % arbiter.size
+            else:
+                arbiter.arbitrate([(port * num_vcs + vc, state.packet)], now)
+            flits = state.buffer._flits
+            flit = flits.popleft()
+            if not flits:
+                occupied.discard((port, vc))
+            handle = flit._handle
+            flit._vc[handle] = out_vc
+            send_credit(port, vc)
+            if flit._flags[handle] & 2:  # tail: release the output VC
+                owner_key = (out_port, out_vc)
+                owner = owner_table.get(owner_key)
+                if owner != (port, vc):
+                    raise RuntimeError(
+                        f"{self.full_name}: tail flit released VC {owner_key} "
+                        f"owned by {owner}, expected ({port}, {vc})"
+                    )
+                del owner_table[owner_key]
+                flit.packet.hop_count += 1
+                state.reset()
+                if flits:
+                    # The next queued packet's head is now at the front.
+                    self._route_pending.append((port, vc))
             # Consume the downstream credit now; the flit is prepaid.
-            self.output_credit_tracker(out_port).take(out_vc)
-            self.sensor.record(SOURCE_DOWNSTREAM, out_port, out_vc, +1)
-            self._staging_committed[out_port] += 1
-            self.schedule(
-                self._core_arrival,
-                self.core_latency,
-                epsilon=EPS_PIPELINE,
-                data=(flit, out_port),
-            )
+            tracker.take(out_vc)
+            sensor_record(SOURCE_DOWNSTREAM, out_port, out_vc, +1)
+            committed[out_port] += 1
+            self._committed_total += 1
+            call_at(arrival_tick, core_arrival, (flit, out_port), arrival_eps)
 
     def _core_arrival(self, event: Event) -> None:
         flit, out_port = event.data
-        self._staging[out_port].append(flit)
-        self._wake()
+        staging = self._staging[out_port]
+        staging.append(flit)
+        if len(staging) == 1:
+            self._staged_ports.append(out_port)
+        self._staged_total += 1
+        if not self._step_scheduled:
+            self._wake()

@@ -31,7 +31,7 @@ from repro.core.event import Event
 from repro.net.buffer import FlitBuffer
 from repro.net.flit import Flit
 from repro.net.phases import EPS_PIPELINE
-from repro.router.arbiter import Arbiter, create_arbiter
+from repro.router.arbiter import Arbiter, RoundRobinArbiter, create_arbiter
 from repro.router.base import Router
 from repro.router.congestion import SOURCE_OUTPUT
 
@@ -62,6 +62,8 @@ class OutputQueuedRouter(Router):
         ]
         # Flits actually sitting in queues per port (drain-stage fast path).
         self._queued_count = [0] * self.num_ports
+        # Sum over _committed, so _has_work is O(1).
+        self._committed_total = 0
         arbiter_settings = self.settings.child("output_arbiter", default={})
         self._output_arbiters: List[Arbiter] = [
             create_arbiter(arbiter_settings, self.num_vcs)
@@ -81,38 +83,61 @@ class OutputQueuedRouter(Router):
     def _step_cycle(self) -> None:
         self._drain_outputs()
         self._update_input_vcs()
+        # OQ allocates in its own fused pass below; drop the queue the
+        # routing stage feeds for _allocate_vcs-based architectures.
+        self._alloc_pending.clear()
         self._allocate_and_move()
 
     def _has_work(self) -> bool:
-        if self._any_input_flits():
-            return True
-        for port in range(self.num_ports):
-            for vc in range(self.num_vcs):
-                if self._committed[port][vc] > 0:
-                    return True
-        return False
+        return bool(self._occupied_inputs) or self._committed_total > 0
 
     def _drain_outputs(self) -> None:
         """Send one flit per port per channel cycle, credits permitting."""
+        queued_count = self._queued_count
+        if not any(queued_count):
+            return
+        flit_out = self._flit_out
+        queues = self._queues
+        committed = self._committed
+        trackers = self._output_credits
+        arbiters = self._output_arbiters
+        sensor_record = self.sensor.record
+        now = self.simulator.tick
+        single_vc = self.num_vcs == 1
         for port in range(self.num_ports):
-            if self._queued_count[port] == 0:
+            if queued_count[port] == 0:
                 continue
-            if not self.output_channel(port).can_send():
+            channel = flit_out[port]
+            if now < channel._next_free_tick:
                 continue
-            tracker = self.output_credit_tracker(port)
-            requests = []
-            for vc in range(self.num_vcs):
-                front = self._queues[port][vc].front()
-                if front is not None and tracker.has_credit(vc):
-                    requests.append((vc, front.packet))
-            if not requests:
-                continue
-            now = self.simulator.tick
-            vc = self._output_arbiters[port].arbitrate(requests, now)
-            flit = self._queues[port][vc].pop()
-            self._committed[port][vc] -= 1
-            self._queued_count[port] -= 1
-            self.sensor.record(SOURCE_OUTPUT, port, vc, -1)
+            credits = trackers[port]._credits
+            port_queues = queues[port]
+            if single_vc:
+                # One VC: the only possible request either exists with
+                # credit or the port stalls; the single-entry arbitration
+                # is forced (and leaves a round-robin pointer unmoved).
+                if credits[0] < 1:
+                    continue
+                vc = 0
+                flits = port_queues[0]._flits
+                arbiter = arbiters[port]
+                if type(arbiter) is not RoundRobinArbiter:
+                    arbiter.arbitrate([(0, flits[0].packet)], now)
+                flit = flits.popleft()
+            else:
+                requests = []
+                for vc, queue in enumerate(port_queues):
+                    flits = queue._flits
+                    if flits and credits[vc] > 0:
+                        requests.append((vc, flits[0].packet))
+                if not requests:
+                    continue
+                vc = arbiters[port].arbitrate(requests, now)
+                flit = port_queues[vc].pop()
+            committed[port][vc] -= 1
+            queued_count[port] -= 1
+            self._committed_total -= 1
+            sensor_record(SOURCE_OUTPUT, port, vc, -1)
             self.send_flit_out(port, flit)
 
     def _allocate_and_move(self) -> None:
@@ -129,14 +154,37 @@ class OutputQueuedRouter(Router):
         across cycles for multi-flit packets, where it enforces wormhole
         atomicity per VC.
         """
-        if not self._occupied_inputs:
+        occupied = self._occupied_inputs
+        if not occupied:
             return
-        flat = sorted(self._occupied_inputs)
-        start = self._alloc_rotor % len(flat)  # fair rotation
-        self._alloc_rotor += 1
+        if len(occupied) == 1:
+            # Rotation over one element is the identity; skip the sort.
+            self._alloc_rotor += 1
+            order = list(occupied)
+        else:
+            flat = sorted(occupied)
+            start = self._alloc_rotor % len(flat)  # fair rotation
+            self._alloc_rotor += 1
+            order = flat[start:] + flat[:start] if start else flat
         owner_table = self._output_vc_owner
-        for port, vc in flat[start:] + flat[:start]:
-            state = self._input_vcs[port][vc]
+        input_vcs = self._input_vcs
+        committed = self._committed
+        depth = self.output_queue_depth
+        pop_input_flit = self._pop_input_flit
+        sensor_record = self.sensor.record
+        simulator = self.simulator
+        call_at = simulator.call_at
+        core_arrival = self._core_arrival
+        core_latency = self.core_latency
+        if core_latency:
+            arrival_tick = simulator.tick + core_latency
+            arrival_eps = EPS_PIPELINE
+        else:
+            arrival_tick = simulator.tick
+            arrival_eps = max(EPS_PIPELINE, simulator.epsilon + 1)
+        admit = self._admit
+        for port, vc in order:
+            state = input_vcs[port][vc]
             if state.packet is None:
                 continue
             if not state.allocated:
@@ -144,7 +192,7 @@ class OutputQueuedRouter(Router):
                     key = (out_port, out_vc)
                     if key in owner_table:
                         continue
-                    if not self._admit(out_port, out_vc, state.packet):
+                    if not admit(out_port, out_vc, state.packet):
                         continue
                     owner_table[key] = (port, vc)
                     state.allocated = True
@@ -153,23 +201,16 @@ class OutputQueuedRouter(Router):
                     break
                 else:
                     continue
-            if state.buffer.is_empty():
+            if not state.buffer._flits:
                 continue
             out_port, out_vc = state.out_port, state.out_vc
-            if (
-                self.output_queue_depth is not None
-                and self._committed[out_port][out_vc] >= self.output_queue_depth
-            ):
+            if depth is not None and committed[out_port][out_vc] >= depth:
                 continue  # finite queue full: flit waits in the input
-            flit = self._pop_input_flit(port, vc)
-            self._committed[out_port][out_vc] += 1
-            self.sensor.record(SOURCE_OUTPUT, out_port, out_vc, +1)
-            self.schedule(
-                self._core_arrival,
-                self.core_latency,
-                epsilon=EPS_PIPELINE,
-                data=(flit, out_port, out_vc),
-            )
+            flit = pop_input_flit(port, vc)
+            committed[out_port][out_vc] += 1
+            self._committed_total += 1
+            sensor_record(SOURCE_OUTPUT, out_port, out_vc, +1)
+            call_at(arrival_tick, core_arrival, (flit, out_port, out_vc), arrival_eps)
 
     def _core_arrival(self, event: Event) -> None:
         flit, out_port, out_vc = event.data

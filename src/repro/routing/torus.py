@@ -33,10 +33,16 @@ class _TorusRoutingBase(RoutingAlgorithm):
         self.coords = router.address
         self.widths = network.widths
         self.concentration = network.concentration
+        # terminal port -> shared ejection candidate list (iterated only).
+        self._eject_cache: dict = {}
 
     def _ejection_candidates(self, packet) -> List[Candidate]:
         port = self.network.terminal_port(packet.destination)
-        return [(port, vc) for vc in range(self.router.num_vcs)]
+        candidates = self._eject_cache.get(port)
+        if candidates is None:
+            candidates = [(port, vc) for vc in range(self.router.num_vcs)]
+            self._eject_cache[port] = candidates
+        return candidates
 
     def _first_differing_dimension(self, dst_coords) -> int:
         for dim, (own, dst) in enumerate(zip(self.coords, dst_coords)):
@@ -84,6 +90,26 @@ class TorusDimensionOrderRouting(_TorusRoutingBase):
                 "torus_dimension_order needs an even number of VCs >= 2 "
                 f"for the dateline scheme, got {router.num_vcs}"
             )
+        # The geometric decision (dimension, direction, output port) for
+        # a destination router is a pure function of this router's fixed
+        # coordinates, so it is memoized per destination.  Only the
+        # dateline class (which reads and updates packet routing state)
+        # must be recomputed per packet.
+        self._dor_memo: dict = {}
+        # Dateline class -> rotation -> VC preference order.
+        half = router.num_vcs // 2
+        self._class_rotations = tuple(
+            tuple(
+                tuple(vcs[rot:] + vcs[:rot]) for rot in range(half)
+            )
+            for vcs in (
+                [vc for vc in range(router.num_vcs) if vc % 2 == parity]
+                for parity in (0, 1)
+            )
+        )
+        # (port, vc_class, rotation) -> shared candidate list.  Callers
+        # only iterate candidates, never mutate them.
+        self._candidate_cache: dict = {}
 
     @classmethod
     def injection_vcs(cls, num_vcs: int) -> List[int]:
@@ -94,17 +120,28 @@ class TorusDimensionOrderRouting(_TorusRoutingBase):
         dst_router = self.network.terminal_router(packet.destination)
         if dst_router == self.router.router_id:
             return self._ejection_candidates(packet)
-        dst_coords = self.network.router_coords(dst_router)
-        dim = self._first_differing_dimension(dst_coords)
-        width = self.widths[dim]
-        _hops, direction = ring_distance(self.coords[dim], dst_coords[dim], width)
-        port = self.network.port_for(dim, direction)
+        memo = self._dor_memo.get(dst_router)
+        if memo is None:
+            dst_coords = self.network.router_coords(dst_router)
+            dim = self._first_differing_dimension(dst_coords)
+            width = self.widths[dim]
+            _hops, direction = ring_distance(
+                self.coords[dim], dst_coords[dim], width
+            )
+            port = self.network.port_for(dim, direction)
+            memo = (dim, direction, port)
+            self._dor_memo[dst_router] = memo
+        dim, direction, port = memo
         vc_class = self._dateline_class(packet, dim, direction)
 
-        vcs = [vc for vc in range(self.router.num_vcs) if vc % 2 == vc_class]
-        rotation = packet.global_id % len(vcs)
-        vcs = vcs[rotation:] + vcs[:rotation]
-        return [(port, vc) for vc in vcs]
+        rotations = self._class_rotations[vc_class]
+        rotation = packet.global_id % len(rotations)
+        key = (port, vc_class, rotation)
+        candidates = self._candidate_cache.get(key)
+        if candidates is None:
+            candidates = [(port, vc) for vc in rotations[rotation]]
+            self._candidate_cache[key] = candidates
+        return candidates
 
 
 @factory.register(RoutingAlgorithm, "torus_minimal_adaptive")

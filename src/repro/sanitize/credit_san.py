@@ -144,20 +144,23 @@ class CreditSan(Sanitizer):
             return send_flit
 
         def wrap_deliver_flit(original):
-            def _deliver(channel, event):
+            # `_deliver_item` is the per-item landing hook shared by the
+            # coalesced and legacy delivery paths, so the accounting below
+            # is per flit regardless of how many land in one event.
+            def _deliver_item(channel, flit):
                 link = by_flit.get(id(channel))
                 if link is None:
-                    original(channel, event)
+                    original(channel, flit)
                     return
-                vc = event.data.vc
+                vc = flit.vc
                 # Decrement *before* delivering: the receive handler may
                 # itself send a credit (the standard interface does), and
                 # that nested check must already see this flit as landed.
                 link.inflight_flits[vc] -= 1
-                original(channel, event)
+                original(channel, flit)
                 check(link, vc)
 
-            return _deliver
+            return _deliver_item
 
         def wrap_send_credit(original):
             def send_credit(channel, credit):
@@ -170,25 +173,25 @@ class CreditSan(Sanitizer):
             return send_credit
 
         def wrap_deliver_credit(original):
-            def _deliver(channel, event):
+            def _deliver_item(channel, credit):
                 link = by_credit.get(id(channel))
                 if link is None:
-                    original(channel, event)
+                    original(channel, credit)
                     return
-                vc = event.data.vc
+                vc = credit.vc
                 link.inflight_credits[vc] -= 1
-                original(channel, event)
+                original(channel, credit)
                 check(link, vc)
 
-            return _deliver
+            return _deliver_item
 
         self._patches = [
             MethodPatch(CreditTracker, "take", wrap_take),
             MethodPatch(CreditTracker, "give", wrap_give),
             MethodPatch(Channel, "send_flit", wrap_send_flit),
-            MethodPatch(Channel, "_deliver", wrap_deliver_flit),
+            MethodPatch(Channel, "_deliver_item", wrap_deliver_flit),
             MethodPatch(CreditChannel, "send_credit", wrap_send_credit),
-            MethodPatch(CreditChannel, "_deliver", wrap_deliver_credit),
+            MethodPatch(CreditChannel, "_deliver_item", wrap_deliver_credit),
         ]
 
     def _check(self, link: _Link, vc: int) -> None:

@@ -14,6 +14,20 @@ to the first divergent event, i.e. the exact tick and handler where the
 runs parted ways -- far more actionable than "the final latencies
 differ".
 
+DetSan keeps a second, *delivery* digest alongside the event digest.
+Coalesced channel delivery (``repro.net.channel``) merges per-item
+delivery events into per-channel batches, so the executed event stream
+legitimately differs from the legacy one-event-per-item stream even
+though the simulations are identical.  The delivery digest hashes the
+*items* landing at each ``(tick, epsilon)``: item fingerprints within
+one time key are folded commutatively (count + XOR + sum), then the
+per-key bucket is chained in key order.  Two runs produce the same
+delivery digest iff every flit and credit lands on the same channel at
+the same time carrying the same identity -- regardless of how the
+deliveries were packed into events.  This is the cross-path equality
+the golden tests assert; the order-sensitive event digest remains the
+right tool for comparing two runs of the *same* code path.
+
 CRC32 is deliberate: this is a fast fingerprint for diffing two runs
 the user controls, not a collision-resistant digest, and it keeps the
 sanitized hot path cheap.
@@ -25,7 +39,8 @@ import zlib
 from typing import List, Optional, Tuple
 
 from repro import factory
-from repro.sanitize.base import Sanitizer
+from repro.net.channel import Channel, CreditChannel
+from repro.sanitize.base import MethodPatch, Sanitizer
 
 #: (packed time key, chained digest after this event)
 TraceEntry = Tuple[int, int]
@@ -67,10 +82,78 @@ class DetSan(Sanitizer):
         self.digest = 0
         self.trace: List[TraceEntry] = []
         self.trace_truncated = False
+        # Delivery digest state: the commutative bucket for the current
+        # (tick, epsilon) key, chained into delivery_digest at each key
+        # change (see the module docstring).
+        self.delivery_digest = 0
+        self.deliveries = 0
+        self._bucket_key = -1
+        self._bucket_count = 0
+        self._bucket_xor = 0
+        self._bucket_sum = 0
 
     def _install(self, simulation) -> None:
-        # Pure executer hook; nothing to patch.
-        self._patches = []
+        from repro.core.simulator import EPSILON_BITS
+
+        sim = simulation.simulator
+        crc32 = zlib.crc32
+        fold_item = self._fold_item
+
+        def wrap_deliver_flit(original):
+            def _deliver_item(channel, flit):
+                if channel.simulator is sim:
+                    fold_item(
+                        (sim.tick << EPSILON_BITS) | sim.epsilon,
+                        crc32(
+                            f"F|{channel.full_name}|{flit.vc}|"
+                            f"{flit.packet.global_id}|{flit.index}".encode()
+                        ),
+                    )
+                original(channel, flit)
+
+            return _deliver_item
+
+        def wrap_deliver_credit(original):
+            def _deliver_item(channel, credit):
+                if channel.simulator is sim:
+                    fold_item(
+                        (sim.tick << EPSILON_BITS) | sim.epsilon,
+                        crc32(f"C|{channel.full_name}|{credit.vc}".encode()),
+                    )
+                original(channel, credit)
+
+            return _deliver_item
+
+        self._patches = [
+            MethodPatch(Channel, "_deliver_item", wrap_deliver_flit),
+            MethodPatch(CreditChannel, "_deliver_item", wrap_deliver_credit),
+        ]
+
+    def _fold_item(self, key: int, item_crc: int) -> None:
+        """Fold one delivered item into the current time-key bucket."""
+        if key != self._bucket_key:
+            self._flush_bucket()
+            self._bucket_key = key
+        self.deliveries += 1
+        self._bucket_count += 1
+        self._bucket_xor ^= item_crc
+        self._bucket_sum += item_crc
+
+    def _flush_bucket(self) -> None:
+        if self._bucket_key < 0:
+            return
+        self.delivery_digest = zlib.crc32(
+            f"{self._bucket_key}|{self._bucket_count}|"
+            f"{self._bucket_xor:08x}|{self._bucket_sum:x}".encode(),
+            self.delivery_digest,
+        )
+        self._bucket_key = -1
+        self._bucket_count = 0
+        self._bucket_xor = 0
+        self._bucket_sum = 0
+
+    def finish(self) -> None:
+        self._flush_bucket()
 
     def pre_event_hook(self):
         crc32 = zlib.crc32
@@ -132,9 +215,12 @@ class DetSan(Sanitizer):
         }
 
     def report(self):
+        self._flush_bucket()
         return {
             "checks": self.checks,
             "digest": f"{self.digest:08x}",
+            "delivery_digest": f"{self.delivery_digest:08x}",
+            "deliveries": self.deliveries,
             "trace_length": len(self.trace),
             "trace_truncated": self.trace_truncated,
         }

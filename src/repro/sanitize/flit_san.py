@@ -87,23 +87,26 @@ class FlitSan(Sanitizer):
             return send_flit
 
         def wrap_deliver(original):
-            def _deliver(channel, event):
+            # Per-item landing hook: shared by the coalesced and legacy
+            # delivery paths, and the flit is removed from the in-network
+            # map *before* the interface consumes (and possibly recycles)
+            # it, so the id() key is read while it is still unambiguous.
+            def _deliver_item(channel, flit):
                 channel_id = id(channel)
                 if channel_id in ejection:
-                    flit = event.data
                     if in_network.pop(id(flit), None) is None:
                         self.violation(
                             f"flit ejected on {channel.full_name} that is "
                             f"not in the network (dropped-then-delivered, "
                             f"or delivered twice): {flit!r}"
                         )
-                original(channel, event)
+                original(channel, flit)
 
-            return _deliver
+            return _deliver_item
 
         self._patches = [
             MethodPatch(Channel, "send_flit", wrap_send_flit),
-            MethodPatch(Channel, "_deliver", wrap_deliver),
+            MethodPatch(Channel, "_deliver_item", wrap_deliver),
         ]
 
     def _on_send(self, channel: Channel, channel_id: int, flit) -> None:

@@ -1,0 +1,130 @@
+"""Slab-backed flit state: recycling, leak accounting, misuse guards.
+
+All Flit objects are views over the process-wide ``FLIT_SLAB``
+(structure-of-arrays columns plus a LIFO freelist).  The invariants:
+
+* packetization acquires from the freelist before growing the slab, so
+  a steady-state simulation recycles a bounded working set of views;
+* released handles keep a permanent 1:1 binding to their view object
+  (no aliasing: a recycled handle comes back as the *same* object);
+* releasing a handle twice is an immediate error;
+* after a drained, sanitized run every acquired handle was released --
+  the slab-level statement of "no flit leaks".
+
+The integration checks run under ``--sanitize=flit,credit`` equivalents
+so slab recycling is proven compatible with the sanitizers' method
+patching (FlitSan tracks per-packet streams across recycled views).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Settings, Simulation
+from repro.net.credit import Credit
+from repro.net.flit import FLIT_SLAB, Flit
+from repro.net.message import Message
+from repro.sanitize import attach_sanitizers
+
+from tests.conftest import small_torus_config
+
+
+def make_packet(num_flits=3):
+    return Message(0, 0, 1, num_flits).packetize(num_flits)[0]
+
+
+# -- unit behaviour ------------------------------------------------------------
+
+
+def test_release_then_acquire_recycles_view_object():
+    packet = make_packet(2)
+    released = list(packet.flits)
+    FLIT_SLAB.release_packet(packet)
+    fresh = make_packet(2)
+    # LIFO freelist: the new packet's views are the released objects.
+    assert set(map(id, fresh.flits)) == set(map(id, released))
+    for i, flit in enumerate(fresh.flits):
+        assert flit.packet is fresh
+        assert flit.index == i
+    FLIT_SLAB.release_packet(fresh)
+
+
+def test_recycled_flit_state_is_reset():
+    packet = make_packet(2)
+    flit = packet.flits[0]
+    flit.vc = 5
+    flit.send_tick = 123
+    flit.receive_tick = 456
+    FLIT_SLAB.release_packet(packet)
+    fresh = make_packet(2)
+    for recycled in fresh.flits:
+        assert recycled.send_tick is None
+        assert recycled.receive_tick is None
+    assert fresh.flits[0].head and not fresh.flits[0].tail
+    assert fresh.flits[1].tail and not fresh.flits[1].head
+    FLIT_SLAB.release_packet(fresh)
+
+
+def test_double_release_raises():
+    packet = make_packet(1)
+    FLIT_SLAB.release(packet.flits[0])
+    with pytest.raises(RuntimeError, match="release"):
+        FLIT_SLAB.release(packet.flits[0])
+
+
+def test_direct_construction_always_fresh_handle():
+    packet = make_packet(1)
+    FLIT_SLAB.release_packet(packet)
+    capacity = FLIT_SLAB.capacity
+    direct = Flit(packet, 0, True, True)  # bypasses the freelist
+    assert FLIT_SLAB.capacity == capacity + 1
+    assert direct is not packet.flits[0]
+    FLIT_SLAB.release(direct)
+
+
+def test_stats_shape():
+    stats = FLIT_SLAB.stats()
+    assert set(stats) >= {"capacity", "live", "acquired_total", "released_total"}
+    assert stats["capacity"] >= stats["live"] >= 0
+
+
+def test_credit_interning_singletons():
+    # The credit-side pooling: per-VC singletons, identity not load-bearing.
+    assert Credit.of(3) is Credit.of(3)
+    assert Credit.of(0).vc == 0 and Credit.of(3).vc == 3
+    fresh = Credit(3)
+    assert fresh is not Credit.of(3) and fresh.vc == 3
+
+
+# -- leak accounting under sanitized simulation --------------------------------
+
+
+def test_sanitized_run_releases_every_acquired_flit():
+    live_before = FLIT_SLAB.live
+    acquired_before = FLIT_SLAB.acquired_total
+    released_before = FLIT_SLAB.released_total
+    simulation = Simulation(Settings.from_dict(small_torus_config()))
+    with attach_sanitizers(simulation, "flit,credit") as suite:
+        results = simulation.run(max_time=20_000)
+        suite.finish()
+        report = suite.report()
+    assert results.drained
+    assert report["flit"]["in_flight"] == 0
+    acquired = FLIT_SLAB.acquired_total - acquired_before
+    released = FLIT_SLAB.released_total - released_before
+    assert acquired > 1000  # the workload really exercised the slab
+    assert released == acquired, "flit slab leak: acquired != released"
+    assert FLIT_SLAB.live == live_before
+
+
+def test_steady_state_recycles_instead_of_growing():
+    simulation = Simulation(Settings.from_dict(small_torus_config()))
+    capacity_before = FLIT_SLAB.capacity
+    acquired_before = FLIT_SLAB.acquired_total
+    results = simulation.run(max_time=20_000)
+    assert results.drained
+    acquired = FLIT_SLAB.acquired_total - acquired_before
+    grown = FLIT_SLAB.capacity - capacity_before
+    # The slab only grows by the peak number of simultaneously live
+    # flits; everything beyond that is recycled views.
+    assert acquired > 4 * max(grown, 1)
