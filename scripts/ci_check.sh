@@ -73,7 +73,18 @@ run_gate "sslint --list-rules" \
 run_gate "sanitize smoke (builtin configs)" \
     python scripts/sanitize_smoke.py
 
-# 7. Perf-regression smoke: simulation_event_rate must stay within 25%
+# 7. Partition gate: every builtin config must plan a 4-way partition
+#    with zero P-errors, lookahead >= 1, byte-identical manifests, and
+#    a structurally valid SARIF export.  See docs/PARTITIONING.md.
+if [ "${SUPERSIM_SKIP_PARTITION:-0}" != "0" ]; then
+    skip_gate "partition gate (builtin configs @ k=4)" \
+        "SUPERSIM_SKIP_PARTITION set"
+else
+    run_gate "partition gate (builtin configs @ k=4)" \
+        python scripts/partition_gate.py
+fi
+
+# 8. Perf-regression smoke: simulation_event_rate must stay within 25%
 #    of the latest BENCH_engine.json entry.  SUPERSIM_SKIP_PERF=1 opts
 #    out on machines not comparable to the recorded history.
 if [ "${SUPERSIM_SKIP_PERF:-0}" != "0" ]; then

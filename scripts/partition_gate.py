@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""CI gate: every builtin config must partition cleanly at k=4.
+
+For each builtin benchmark config this gate plans a 4-way partition,
+runs the full P-rule layer over the planned manifest, and fails on:
+
+* any error-severity P-finding (an unsound partition),
+* a global lookahead below 1 tick (the partition would be useless),
+* a manifest that is not byte-identical when planned twice (the
+  determinism contract of docs/PARTITIONING.md),
+* a SARIF export that is structurally invalid.
+
+Run directly (``python scripts/partition_gate.py``) or via
+``scripts/ci_check.sh``; set SUPERSIM_SKIP_PARTITION=1 to skip there.
+"""
+
+from __future__ import annotations
+
+import sys
+
+K = 4
+
+
+def check_sarif(log: dict) -> list:
+    """Minimal structural validation of a SARIF 2.1.0 log."""
+    problems = []
+    if log.get("version") != "2.1.0":
+        problems.append(f"sarif version is {log.get('version')!r}")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        problems.append("sarif log must carry exactly one run")
+        return problems
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "sslint":
+        problems.append("sarif driver name must be 'sslint'")
+    declared = {rule.get("id") for rule in driver.get("rules", [])}
+    for result in run.get("results", []):
+        if result.get("ruleId") not in declared:
+            problems.append(
+                f"result rule {result.get('ruleId')!r} not declared"
+            )
+        if result.get("level") not in ("error", "warning", "note"):
+            problems.append(f"bad result level {result.get('level')!r}")
+        if not result.get("message", {}).get("text"):
+            problems.append("result without message text")
+        prints = result.get("partialFingerprints", {})
+        if not any(k.startswith("sslintFingerprint/") for k in prints):
+            problems.append("result without an sslint fingerprint")
+    return problems
+
+
+def main() -> int:
+    from repro import configs as builders
+    from repro.config.settings import Settings
+    from repro.lint import lint_partition
+    from repro.lint.sarif import to_sarif
+    from repro.partition import to_canonical_json
+
+    names = sorted(
+        attr for attr in dir(builders)
+        if attr.endswith("_config") and callable(getattr(builders, attr))
+    )
+    failures = 0
+    reports = []
+    for name in names:
+        config = getattr(builders, name)()
+        report, manifest = lint_partition(
+            Settings.from_dict(config), k=K, subject=f"builtin:{name}"
+        )
+        reports.append(report)
+        problems = []
+        if report.has_errors():
+            problems.extend(f.render() for f in report.errors)
+        if manifest is None:
+            problems.append("no manifest produced")
+        else:
+            lookahead = manifest["lookahead"]["global"]
+            if lookahead is None or lookahead < 1:
+                problems.append(f"global lookahead is {lookahead!r}")
+            _, again = lint_partition(
+                Settings.from_dict(getattr(builders, name)()), k=K
+            )
+            if to_canonical_json(manifest) != to_canonical_json(again):
+                problems.append("manifest is not deterministic")
+        if problems:
+            failures += 1
+            print(f"FAIL {name} (k={K}):")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            cut = len(manifest["cut_channels"])
+            print(
+                f"ok   {name}: k={K}, {cut} cut channel(s), "
+                f"lookahead {manifest['lookahead']['global']}"
+            )
+
+    sarif_problems = check_sarif(to_sarif(reports))
+    if sarif_problems:
+        failures += 1
+        print("FAIL sarif export:")
+        for problem in sarif_problems:
+            print(f"  {problem}")
+    else:
+        print("ok   sarif export validates")
+
+    if failures:
+        print(f"partition gate: {failures} failure(s)")
+        return 1
+    print(f"partition gate: {len(names)} config(s) clean at k={K}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint the resolved config and exit without simulating",
     )
     parser.add_argument(
+        "--partition-plan",
+        type=int,
+        metavar="K",
+        default=None,
+        help="plan a K-way partition of the resolved config, verify it "
+        "with the P-rules, print the manifest JSON to stdout, and exit "
+        "without simulating (see docs/PARTITIONING.md)",
+    )
+    parser.add_argument(
         "--sanitize",
         metavar="NAMES",
         default=None,
@@ -130,6 +139,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides.append(f"simulator.monitor.period=uint={args.progress}")
         overrides.append("simulator.monitor.print=bool=true")
     settings = Settings.from_file(args.config, overrides)
+    if args.partition_plan is not None:
+        from repro.lint import lint_partition
+        from repro.partition import to_canonical_json
+
+        report, manifest = lint_partition(
+            settings, k=args.partition_plan, subject=args.config
+        )
+        if report.findings:
+            print(report.render_text(), file=sys.stderr)
+        if report.has_errors() or manifest is None:
+            print("partition planning failed; no manifest emitted",
+                  file=sys.stderr)
+            return 1
+        sys.stdout.write(to_canonical_json(manifest))
+        return 0
     if args.lint or args.lint_only:
         from repro.lint import lint_settings
 

@@ -17,15 +17,19 @@ Three layers of checks, all runnable without simulating a single tick:
   breaches, credit counts mutated outside the ``repro.net.credit``
   API.  The static counterparts of the ``repro.sanitize`` runtime
   sanitizers.
+* **partition** (P001..P008) -- shard-safety checks of a partition
+  manifest (planned by :mod:`repro.partition` or hand-written) against
+  the constructed network, plus AST scans for code that would break
+  under partitioned simulation.  See docs/PARTITIONING.md.
 
-Entry points: ``sslint`` (CLI), ``supersim --lint``, and
-``sssweep``'s pre-fan-out gate.  See docs/LINTING.md for the rule
-catalog.
+Entry points: ``sslint`` (CLI), ``supersim --lint`` /
+``--partition-plan``, and ``sssweep``'s pre-fan-out gate.  See
+docs/LINTING.md for the rule catalog.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
 from repro.config.settings import Settings, SettingsError
 from repro.lint.findings import Finding, LintReport, Severity
@@ -34,6 +38,7 @@ from repro.lint.rules import (
     DATAFLOW_LAYER,
     DETERMINISM_LAYER,
     GRAPH_LAYER,
+    PARTITION_LAYER,
     LintContext,
     LintRule,
     all_rule_ids,
@@ -41,7 +46,16 @@ from repro.lint.rules import (
     run_rules,
 )
 
-ALL_LAYERS = (CONFIG_LAYER, GRAPH_LAYER, DETERMINISM_LAYER, DATAFLOW_LAYER)
+ALL_LAYERS = (
+    CONFIG_LAYER,
+    GRAPH_LAYER,
+    DETERMINISM_LAYER,
+    DATAFLOW_LAYER,
+    PARTITION_LAYER,
+)
+
+#: Layers that run over Python source files (vs. config trees).
+SOURCE_LAYERS = (DETERMINISM_LAYER, DATAFLOW_LAYER, PARTITION_LAYER)
 
 __all__ = [
     "ALL_LAYERS",
@@ -49,6 +63,8 @@ __all__ = [
     "DATAFLOW_LAYER",
     "DETERMINISM_LAYER",
     "GRAPH_LAYER",
+    "PARTITION_LAYER",
+    "SOURCE_LAYERS",
     "Finding",
     "LintContext",
     "LintReport",
@@ -56,6 +72,7 @@ __all__ = [
     "Severity",
     "all_rule_ids",
     "lint_config_dict",
+    "lint_partition",
     "lint_settings",
     "lint_sources",
     "lint_sweep",
@@ -69,18 +86,58 @@ def lint_settings(
     graph: bool = True,
     max_pairs: int = 512,
     subject: Optional[str] = None,
+    layers: Optional[Iterable[str]] = None,
 ) -> LintReport:
     """Lint a resolved Settings tree (config layer, optionally graph).
 
     The graph layer is skipped automatically when the config layer
     reports errors: constructing a network from a config that is
     already known-broken would only duplicate those errors as a G001.
+    ``layers`` restricts the run to a subset of (config, graph); the
+    config-errors-gate-graph rule still applies within the subset.
     """
+    wanted = set(layers) if layers is not None else {CONFIG_LAYER, GRAPH_LAYER}
     ctx = LintContext(settings=settings, max_pairs=max_pairs)
-    report = run_rules(ctx, [CONFIG_LAYER], subject=subject)
-    if graph and not report.has_errors():
+    report = LintReport(subject=subject)
+    if CONFIG_LAYER in wanted:
+        report.merge(run_rules(ctx, [CONFIG_LAYER], subject=subject))
+    if graph and GRAPH_LAYER in wanted and not report.has_errors():
         report.merge(run_rules(ctx, [GRAPH_LAYER], subject=subject))
     return report
+
+
+def lint_partition(
+    settings: Settings,
+    k: Optional[int] = None,
+    manifest: Optional[dict] = None,
+    tolerance: Optional[float] = None,
+    lookahead_threshold: int = 1,
+    max_pairs: int = 512,
+    subject: Optional[str] = None,
+) -> Tuple[LintReport, Optional[dict]]:
+    """Plan (``k``) or verify (``manifest``) a partition for ``settings``.
+
+    Runs the config layer first (a broken config cannot be partitioned),
+    then the graph + partition layers.  Returns ``(report, manifest)``
+    where the manifest is the planned document when planning was
+    requested and succeeded, the caller's document when verifying, and
+    ``None`` when the config/graph layers already failed.
+    """
+    ctx = LintContext(
+        settings=settings,
+        max_pairs=max_pairs,
+        partition_k=k,
+        manifest=manifest,
+        partition_tolerance=tolerance,
+        lookahead_threshold=lookahead_threshold,
+    )
+    report = run_rules(ctx, [CONFIG_LAYER], subject=subject)
+    if report.has_errors():
+        return report, None
+    report.merge(
+        run_rules(ctx, [GRAPH_LAYER, PARTITION_LAYER], subject=subject)
+    )
+    return report, ctx.partition().manifest
 
 
 def lint_config_dict(
@@ -109,11 +166,21 @@ def lint_config_dict(
 
 
 def lint_sources(
-    paths: Iterable[str], subject: Optional[str] = None
+    paths: Iterable[str],
+    subject: Optional[str] = None,
+    layers: Optional[Iterable[str]] = None,
 ) -> LintReport:
-    """Run the determinism + dataflow AST rules over source files."""
+    """Run the source-file AST layers (determinism/dataflow/partition).
+
+    ``layers`` restricts the run; non-source layers in it are ignored.
+    """
+    wanted = (
+        [layer for layer in SOURCE_LAYERS if layer in set(layers)]
+        if layers is not None
+        else list(SOURCE_LAYERS)
+    )
     ctx = LintContext(source_paths=list(paths))
-    return run_rules(ctx, [DETERMINISM_LAYER, DATAFLOW_LAYER], subject=subject)
+    return run_rules(ctx, wanted, subject=subject)
 
 
 def lint_sweep(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import copy
 import itertools
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
 
 from repro import factory, models
 from repro.config.settings import Settings, SettingsError
@@ -45,6 +45,26 @@ from repro.routing.base import RoutingError
 Node = Tuple[str, int]  # (channel full name, vc)
 
 
+class ChannelRecord(NamedTuple):
+    """One directed channel of the constructed network.
+
+    ``latency`` is read off the live :class:`~repro.net.channel.Channel`
+    object, i.e. the value ``Channel.__init__`` actually received after
+    every settings override was applied -- never the schema default.
+    The partition planner derives shard lookahead from these numbers,
+    so recording a default where the config overrode it would make the
+    "conservative" lookahead silently optimistic.
+    """
+
+    name: str          # channel full name
+    kind: str          # "flit" | "credit"
+    source: str        # source device full name
+    source_port: int
+    sink: str          # sink device full name
+    sink_port: int
+    latency: int       # ticks, post-override (see docstring)
+
+
 def _state_signature(packet) -> Tuple:
     """Hashable digest of the routing-relevant packet state."""
     return (
@@ -53,6 +73,40 @@ def _state_signature(packet) -> Tuple:
         packet.non_minimal,
         tuple(sorted(packet.routing_state.items())),
     )
+
+
+def scan_channels(network) -> List[ChannelRecord]:
+    """Record every directed channel with its as-constructed latency.
+
+    The latency is taken from the live channel objects rather than
+    re-derived from settings: ``wire()`` hands different latencies to
+    router-router and terminal links, and overrides
+    (``network.channel_latency=uint=...``) change what the constructor
+    received.  The objects are the ground truth the simulation will run
+    with -- reading a settings default here would poison the partition
+    planner's lookahead computation.
+    """
+    records: List[ChannelRecord] = []
+    devices = list(network.routers) + list(network.interfaces)
+    for device in devices:
+        for port in range(device.num_ports):
+            flit = device._flit_out[port]
+            if flit is not None and flit.sink is not None:
+                records.append(ChannelRecord(
+                    flit.full_name, "flit",
+                    device.full_name, port,
+                    flit.sink.full_name, flit.sink_port,
+                    flit.latency,
+                ))
+            credit = device._credit_out[port]
+            if credit is not None and credit.sink is not None:
+                records.append(ChannelRecord(
+                    credit.full_name, "credit",
+                    device.full_name, port,
+                    credit.sink.full_name, credit.sink_port,
+                    credit.latency,
+                ))
+    return records
 
 
 class GraphAnalysis:
@@ -71,6 +125,7 @@ class GraphAnalysis:
         self.full_cycle: Optional[List[Node]] = None
         self.escape_cycle: Optional[List[Node]] = None
         self.pairs_traced = 0
+        self.channels: List[ChannelRecord] = []
         if settings is None:
             self.construction_error = "no settings provided"
             return
@@ -92,6 +147,7 @@ class GraphAnalysis:
             self._build(settings)
             if self.network is not None:
                 self._scan_ports()
+                self._scan_channels()
                 self._trace(max_pairs)
                 self.full_cycle = _find_cycle(self.full_edges)
                 self.escape_cycle = _find_cycle(self.escape_edges)
@@ -129,6 +185,10 @@ class GraphAnalysis:
             for port in range(router.num_ports):
                 if not router.port_is_wired(port):
                     self.unwired_ports.append((router.full_name, port))
+
+    def _scan_channels(self) -> None:
+        assert self.network is not None
+        self.channels = scan_channels(self.network)
 
     # -- channel dependency trace --------------------------------------------
 

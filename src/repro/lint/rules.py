@@ -21,6 +21,9 @@ Each rule belongs to one *layer*:
 * ``dataflow`` -- AST checks for model-contract violations (event
   handle lifetimes, epsilon discipline, credit-API bypasses) -- the
   static counterparts of the :mod:`repro.sanitize` runtime checks.
+* ``partition`` -- shard-safety checks of a partition manifest
+  (planned or hand-written) against the constructed network, plus AST
+  scans for shard-isolation hazards in model code.
 
 A :class:`LintContext` carries the inputs and memoizes the expensive
 shared work (the schema walk, the network construction and channel
@@ -40,11 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.ast_rules import SourceScan
     from repro.lint.dataflow_rules import DataflowScan
     from repro.lint.graph import GraphAnalysis
+    from repro.lint.partition_rules import PartitionAnalysis, PartitionScan
 
 CONFIG_LAYER = "config"
 GRAPH_LAYER = "graph"
 DETERMINISM_LAYER = "determinism"
 DATAFLOW_LAYER = "dataflow"
+PARTITION_LAYER = "partition"
 
 
 class LintRule:
@@ -70,15 +75,28 @@ class LintContext:
         source_paths: Optional[List[str]] = None,
         max_pairs: int = 512,
         sweep=None,
+        partition_k: Optional[int] = None,
+        manifest: Optional[dict] = None,
+        partition_tolerance: Optional[float] = None,
+        lookahead_threshold: int = 1,
     ):
         self.settings = settings
         self.source_paths = list(source_paths or [])
         self.max_pairs = max_pairs
         self.sweep = sweep
+        #: Shard count to plan (P-rules then verify the planned
+        #: manifest); ``manifest`` instead verifies a caller-provided
+        #: document against the network this config constructs.
+        self.partition_k = partition_k
+        self.manifest = manifest
+        self.partition_tolerance = partition_tolerance
+        self.lookahead_threshold = lookahead_threshold
         self._schema_findings: Optional[List[Finding]] = None
         self._graph: Optional["GraphAnalysis"] = None
         self._scans: Optional[List["SourceScan"]] = None
         self._dataflow_scans: Optional[List["DataflowScan"]] = None
+        self._partition: Optional["PartitionAnalysis"] = None
+        self._partition_scans: Optional[List["PartitionScan"]] = None
 
     # -- memoized analyses ---------------------------------------------------
 
@@ -120,6 +138,24 @@ class LintContext:
             ]
         return self._dataflow_scans
 
+    def partition(self) -> "PartitionAnalysis":
+        """Component graph + manifest (planned or provided) + checks."""
+        if self._partition is None:
+            from repro.lint.partition_rules import PartitionAnalysis
+
+            self._partition = PartitionAnalysis(self)
+        return self._partition
+
+    def partition_scans(self) -> List["PartitionScan"]:
+        """Shard-isolation AST scans of every requested source file."""
+        if self._partition_scans is None:
+            from repro.lint.partition_rules import PartitionScan
+
+            self._partition_scans = [
+                PartitionScan(path) for path in self.source_paths
+            ]
+        return self._partition_scans
+
 
 def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     """Every registered rule id, optionally restricted to one layer."""
@@ -127,6 +163,7 @@ def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     import repro.lint.config_rules  # noqa: F401
     import repro.lint.dataflow_rules  # noqa: F401
     import repro.lint.graph  # noqa: F401
+    import repro.lint.partition_rules  # noqa: F401
 
     ids = factory.names(LintRule)
     if layer is None:

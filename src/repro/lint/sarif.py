@@ -16,6 +16,15 @@ locations: inserting a docstring above an offending call must not make
 the finding "new".  It keeps the message, which for config rules
 carries the offending value -- changing a value to a different broken
 value is a new finding, which is the desired behavior.
+
+Findings from the graph and partition layers that carry no source
+location are fingerprinted differently (v2): their material is just
+``rule_id|subject|config_path``, dropping the message.  Those messages
+quote quantities derived from the whole constructed network or manifest
+(cut counts, shard weights, lookahead values) that legitimately drift
+as the planner or topology parameters evolve; a baseline should pin
+"this config has a P003 at partition.lookahead", not the exact numbers
+of one planner version.
 """
 
 from __future__ import annotations
@@ -32,8 +41,12 @@ SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
     "Schemas/sarif-schema-2.1.0.json"
 )
-FINGERPRINT_KEY = "sslintFingerprint/v1"
+FINGERPRINT_KEY = "sslintFingerprint/v2"
 BASELINE_VERSION = 1
+
+#: Layers whose location-less findings fingerprint without the message
+#: (their messages quote network-derived quantities that drift).
+_CONTENT_FREE_LAYERS = {"graph", "partition"}
 
 #: SARIF result levels for our severities (INFO maps to "note").
 _LEVELS = {
@@ -53,16 +66,39 @@ def _split_location(location: Optional[str]):
     return location, None
 
 
+_layer_cache: dict = {}
+
+
+def _rule_layer(rule_id: str) -> str:
+    """The layer of ``rule_id`` (memoized; '' for unknown rules)."""
+    if not _layer_cache:
+        for known, info in rule_catalog().items():
+            _layer_cache[known] = info["layer"]
+    return _layer_cache.get(rule_id, "")
+
+
 def fingerprint(finding: Finding, subject: Optional[str] = None) -> str:
-    """A stable content hash of a finding, insensitive to line drift."""
+    """A stable content hash of a finding, insensitive to line drift.
+
+    Location-less graph/partition findings hash without the message so
+    the fingerprint survives planner/topology evolution (see module
+    docstring).
+    """
     uri, _line = _split_location(finding.location)
-    material = "|".join([
-        finding.rule_id,
-        subject or "",
-        finding.config_path or "",
-        uri or "",
-        finding.message,
-    ])
+    if uri is None and _rule_layer(finding.rule_id) in _CONTENT_FREE_LAYERS:
+        material = "|".join([
+            finding.rule_id,
+            subject or "",
+            finding.config_path or "",
+        ])
+    else:
+        material = "|".join([
+            finding.rule_id,
+            subject or "",
+            finding.config_path or "",
+            uri or "",
+            finding.message,
+        ])
     return hashlib.sha1(material.encode("utf-8")).hexdigest()
 
 

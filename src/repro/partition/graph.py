@@ -1,0 +1,123 @@
+"""The component graph the partition planner operates on.
+
+Nodes are the *simulatable* components of a constructed network --
+routers and interfaces -- and edges are the directed channels between
+them (flit and credit, four per bidirectional link).  Channels are the
+only legal coupling between shards: they carry latency, and that
+latency is exactly the synchronization slack a conservative parallel
+runtime can exploit (SplitSim's decomposition; ROADMAP item 2).
+
+The graph is extracted from a network built by the lint layer's
+no-simulate constructor (:class:`repro.lint.graph.GraphAnalysis`), so
+planning a partition never fires a single event.  Channel latencies
+come from :class:`~repro.lint.graph.ChannelRecord`, i.e. off the live
+channel objects (post-override), not schema defaults.
+
+Node weights approximate per-component simulation cost: a router costs
+roughly its radix (ports drive arbitration and buffer work), an
+interface a constant 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple
+
+from repro.lint.graph import ChannelRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.graph import GraphAnalysis
+    from repro.net.network import Network
+
+
+class ComponentInfo(NamedTuple):
+    name: str   # component full name (stable across runs)
+    kind: str   # "router" | "interface"
+    weight: int  # relative simulation cost (router radix, interface 1)
+    index: int  # extraction order, the planner's deterministic tiebreak
+
+
+class ComponentGraph:
+    """Components plus the channels connecting them.
+
+    ``components`` preserves extraction order (routers by id, then
+    interfaces by id), which every planner loop uses as its
+    deterministic iteration order.  ``adjacency`` collapses the directed
+    channel multigraph into an undirected neighbor map:
+    ``adjacency[a][b]`` is the list of indices into ``channels`` of
+    every channel between ``a`` and ``b`` (either direction).
+    """
+
+    def __init__(self) -> None:
+        self.components: Dict[str, ComponentInfo] = {}
+        self.channels: List[ChannelRecord] = []
+        self.adjacency: Dict[str, Dict[str, List[int]]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_network(cls, network: "Network") -> "ComponentGraph":
+        """Extract the graph from an already-constructed network."""
+        from repro.lint.graph import scan_channels
+
+        return cls._build(network, scan_channels(network))
+
+    @classmethod
+    def from_analysis(cls, analysis: "GraphAnalysis") -> "ComponentGraph":
+        """Extract the graph from a lint-layer network analysis."""
+        if analysis.network is None:
+            raise ValueError(
+                "cannot extract a component graph: network construction "
+                f"failed ({analysis.construction_error})"
+            )
+        return cls._build(analysis.network, analysis.channels)
+
+    @classmethod
+    def _build(
+        cls, network: "Network", channels: List[ChannelRecord]
+    ) -> "ComponentGraph":
+        graph = cls()
+        index = 0
+        for router in network.routers:
+            graph.components[router.full_name] = ComponentInfo(
+                router.full_name, "router", max(1, router.num_ports), index
+            )
+            index += 1
+        for interface in network.interfaces:
+            graph.components[interface.full_name] = ComponentInfo(
+                interface.full_name, "interface", 1, index
+            )
+            index += 1
+        for record in channels:
+            channel_index = len(graph.channels)
+            graph.channels.append(record)
+            for a, b in ((record.source, record.sink),
+                         (record.sink, record.source)):
+                graph.adjacency.setdefault(a, {}).setdefault(b, [])
+            graph.adjacency[record.source][record.sink].append(channel_index)
+            graph.adjacency[record.sink][record.source].append(channel_index)
+        return graph
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def total_weight(self) -> int:
+        return sum(info.weight for info in self.components.values())
+
+    def neighbors(self, name: str) -> List[str]:
+        """Neighbor names in deterministic (extraction) order."""
+        around = self.adjacency.get(name, {})
+        return sorted(around, key=lambda n: self.components[n].index)
+
+    def channels_between(self, a: str, b: str) -> List[ChannelRecord]:
+        return [
+            self.channels[i] for i in self.adjacency.get(a, {}).get(b, [])
+        ]
+
+    def cut_channels(self, assignment: Dict[str, int]) -> List[ChannelRecord]:
+        """Channels whose endpoints land in different shards, in
+        extraction order."""
+        return [
+            record
+            for record in self.channels
+            if assignment.get(record.source) != assignment.get(record.sink)
+        ]

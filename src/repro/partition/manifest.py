@@ -1,0 +1,171 @@
+"""The partition manifest: the contract between planner and runtime.
+
+A manifest is a plain JSON document describing one k-way partition of
+one network: which components live in which shard, which channels are
+cut by the partition (with their latencies), and the conservative
+lookahead each shard may advance on without hearing from its peers.
+The future PDES runtime consumes the manifest verbatim; the P-rules
+(:mod:`repro.lint.partition_rules`) verify any manifest -- planned or
+hand-written -- against the network the config actually constructs.
+
+Lookahead semantics: a shard's ``lookahead`` is the minimum latency
+over its *inbound* cut channels -- no peer can affect the shard sooner
+than one full channel flight, so simulating ``lookahead`` ticks beyond
+the last synchronization point is causally safe.  ``lookahead.global``
+is the minimum over every cut channel (the safe step for a barrier
+synchronization scheme).  A shard with no inbound cut channels is
+unconstrained and carries ``null``.
+
+Serialization is canonical (sorted keys, fixed indentation, trailing
+newline) so the same config and seed always produce a byte-identical
+file -- the determinism property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.partition.graph import ComponentGraph
+
+MANIFEST_VERSION = 1
+
+#: Channel kinds a cut crossing may legally be (P002).
+CUT_KINDS = ("flit", "credit")
+
+
+class ManifestError(ValueError):
+    """Raised for files that are not partition manifests at all."""
+
+
+def config_fingerprint(config: Dict[str, Any]) -> str:
+    """Stable content hash of a resolved config dict."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
+
+
+def build_manifest(
+    graph: ComponentGraph,
+    assignment: Dict[str, int],
+    k: int,
+    topology: str = "",
+    fingerprint: str = "",
+) -> Dict[str, Any]:
+    """Assemble the manifest document for ``assignment`` over ``graph``."""
+    order = graph.components
+    shards: List[Dict[str, Any]] = []
+    for shard in range(k):
+        members = sorted(
+            (name for name, s in assignment.items() if s == shard),
+            key=lambda n: order[n].index,
+        )
+        shards.append({
+            "id": shard,
+            "components": members,
+            "weight": sum(order[n].weight for n in members),
+        })
+    cut: List[Dict[str, Any]] = []
+    for record in graph.cut_channels(assignment):
+        cut.append({
+            "name": record.name,
+            "kind": record.kind,
+            "source": record.source,
+            "source_shard": assignment[record.source],
+            "sink": record.sink,
+            "sink_shard": assignment[record.sink],
+            "latency": record.latency,
+        })
+    per_shard: Dict[str, Optional[int]] = {}
+    for shard in range(k):
+        inbound = [c["latency"] for c in cut if c["sink_shard"] == shard]
+        per_shard[str(shard)] = min(inbound) if inbound else None
+    return {
+        "version": MANIFEST_VERSION,
+        "topology": topology,
+        "config_fingerprint": fingerprint,
+        "k": k,
+        "num_components": len(assignment),
+        "shards": shards,
+        "cut_channels": cut,
+        "lookahead": {
+            "global": min((c["latency"] for c in cut), default=None),
+            "per_shard": per_shard,
+        },
+    }
+
+
+def to_canonical_json(manifest: Dict[str, Any]) -> str:
+    """Byte-stable rendering (same manifest -> same bytes, always)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_canonical_json(manifest))
+
+
+def load_manifest(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "shards" not in data:
+        raise ManifestError(
+            f"{path} is not a partition manifest (expected a JSON object "
+            "with a 'shards' list)"
+        )
+    return data
+
+
+def structural_errors(manifest: Any) -> List[str]:
+    """Shape problems that make a manifest unverifiable.
+
+    These are reported (as P005 errors) before any semantic rule runs:
+    a manifest whose shards are not even a list of component lists
+    cannot meaningfully be checked for zero-latency cuts.
+    """
+    problems: List[str] = []
+    if not isinstance(manifest, dict):
+        return ["manifest is not a JSON object"]
+    version = manifest.get("version")
+    if version != MANIFEST_VERSION:
+        problems.append(
+            f"unsupported manifest version {version!r} "
+            f"(expected {MANIFEST_VERSION})"
+        )
+    k = manifest.get("k")
+    if not isinstance(k, int) or k < 1:
+        problems.append(f"'k' must be a positive integer, got {k!r}")
+    shards = manifest.get("shards")
+    if not isinstance(shards, list):
+        problems.append("'shards' must be a list")
+    else:
+        for position, shard in enumerate(shards):
+            if not isinstance(shard, dict):
+                problems.append(f"shards[{position}] is not an object")
+                continue
+            if not isinstance(shard.get("id"), int):
+                problems.append(f"shards[{position}] has no integer 'id'")
+            members = shard.get("components")
+            if not isinstance(members, list) or not all(
+                isinstance(m, str) for m in members
+            ):
+                problems.append(
+                    f"shards[{position}].components must be a list of "
+                    f"component names"
+                )
+    cut = manifest.get("cut_channels")
+    if not isinstance(cut, list):
+        problems.append("'cut_channels' must be a list")
+    else:
+        for position, entry in enumerate(cut):
+            if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str
+            ):
+                problems.append(
+                    f"cut_channels[{position}] must be an object with a "
+                    f"'name'"
+                )
+    lookahead = manifest.get("lookahead")
+    if not isinstance(lookahead, dict) or "global" not in lookahead:
+        problems.append("'lookahead' must be an object with a 'global' key")
+    return problems

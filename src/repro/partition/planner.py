@@ -1,0 +1,211 @@
+"""Deterministic k-way partitioning of the component graph.
+
+The planner assigns every component (router or interface) to one of
+``k`` shards, minimizing the number of *cut channels* -- channels whose
+endpoints land in different shards -- while keeping the shards
+weight-balanced.  Cut channels are what a parallel runtime pays for:
+every crossing becomes an inter-process flit/credit exchange, and the
+smallest cut-channel latency bounds the conservative lookahead.
+
+Two phases, both free of randomness so the same graph always yields
+the same plan (byte-identical manifests; the `sssweep` determinism
+contract extends to planning):
+
+1. **Greedy region growth.**  Shards are grown one at a time by BFS
+   from the first unassigned component in extraction order, absorbing
+   neighbors (again in extraction order) until the shard reaches the
+   ideal weight ``total/k``.  On mesh-like topologies this yields
+   contiguous blocks, the same partition-by-node-range scheme as
+   fpgagraphlib's multi-FPGA SimTop.
+
+2. **Kernighan-Lin style boundary refinement.**  Boundary components
+   are repeatedly offered to adjacent shards; a move is taken when it
+   strictly reduces the cut-channel count without pushing the target
+   shard past ``tolerance * ideal`` weight or emptying the source
+   shard.  Passes repeat until a fixed point (bounded by
+   ``max_passes``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.partition.graph import ComponentGraph
+
+#: A shard may exceed the ideal weight by this factor before P004
+#: warns about the manifest.
+DEFAULT_TOLERANCE = 1.5
+
+#: The refinement phase keeps shards inside this much tighter envelope:
+#: a cut-reducing move is refused when it would push the target shard
+#: past ``_REFINE_BALANCE * ideal``.  Without the tighter bound,
+#: hill-climbing on cut count alone steadily erodes one shard into its
+#: neighbor until the reporting tolerance is exhausted.
+_REFINE_BALANCE = 1.1
+
+_MAX_REFINE_PASSES = 8
+
+
+class PartitionError(ValueError):
+    """Raised for unplannable requests (bad k, empty graph)."""
+
+
+def plan(
+    graph: ComponentGraph,
+    k: int,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_passes: int = _MAX_REFINE_PASSES,
+) -> Dict[str, int]:
+    """Assign every component to a shard; returns {name: shard id}.
+
+    Deterministic: iteration orders are fixed by extraction order and
+    no randomness is consulted, so the same constructed network always
+    produces the same assignment.
+    """
+    if k < 1:
+        raise PartitionError(f"shard count must be >= 1, got {k}")
+    if not graph.components:
+        raise PartitionError("cannot partition an empty component graph")
+    if tolerance < 1.0:
+        raise PartitionError(
+            f"balance tolerance must be >= 1.0, got {tolerance}"
+        )
+    names = list(graph.components)  # extraction order
+    if k == 1:
+        return {name: 0 for name in names}
+    if k >= len(names):
+        # Degenerate: one component per shard (extras stay empty).
+        return {name: i for i, name in enumerate(names)}
+
+    assignment = _grow_regions(graph, k, names)
+    _refine(graph, k, assignment, tolerance, max_passes)
+    return assignment
+
+
+# -- phase 1: greedy region growth ------------------------------------------
+
+
+def _grow_regions(
+    graph: ComponentGraph, k: int, names: List[str]
+) -> Dict[str, int]:
+    ideal = graph.total_weight / k
+    assignment: Dict[str, int] = {}
+    unassigned = dict.fromkeys(names)  # ordered set
+    for shard in range(k):
+        if not unassigned:
+            break
+        last_shard = shard == k - 1
+        weight = 0
+        # BFS frontier ordered by extraction index for determinism.
+        frontier: List[str] = [next(iter(unassigned))]
+        while frontier or (last_shard and unassigned):
+            if not frontier:
+                # Disconnected remainder: restart from the next
+                # unassigned component (last shard absorbs everything).
+                frontier.append(next(iter(unassigned)))
+            name = frontier.pop(0)
+            if name not in unassigned:
+                continue
+            info = graph.components[name]
+            if not last_shard and weight and weight + info.weight > ideal:
+                continue  # would overshoot; try a lighter neighbor
+            del unassigned[name]
+            assignment[name] = shard
+            weight += info.weight
+            if not last_shard and weight >= ideal:
+                break
+            for neighbor in graph.neighbors(name):
+                if neighbor in unassigned:
+                    frontier.append(neighbor)
+    # Anything left (k-1 shards filled early) joins the lightest shard.
+    if unassigned:
+        weights = _shard_weights(graph, assignment, k)
+        for name in list(unassigned):
+            lightest = min(range(k), key=lambda s: (weights[s], s))
+            assignment[name] = lightest
+            weights[lightest] += graph.components[name].weight
+    return assignment
+
+
+# -- phase 2: KL-style boundary refinement -----------------------------------
+
+
+def _refine(
+    graph: ComponentGraph,
+    k: int,
+    assignment: Dict[str, int],
+    tolerance: float,
+    max_passes: int,
+) -> None:
+    ideal = graph.total_weight / k
+    limit = min(tolerance, _REFINE_BALANCE) * ideal
+    weights = _shard_weights(graph, assignment, k)
+    counts = _shard_counts(assignment, k)
+    names = list(graph.components)
+    for _ in range(max_passes):
+        improved = False
+        for name in names:
+            source = assignment[name]
+            move = _best_move(graph, assignment, name, source)
+            if move is None:
+                continue
+            target, gain = move
+            weight = graph.components[name].weight
+            if weights[target] + weight > limit:
+                continue  # would unbalance the target shard
+            if counts[source] <= 1:
+                continue  # never empty a shard
+            assignment[name] = target
+            weights[source] -= weight
+            weights[target] += weight
+            counts[source] -= 1
+            counts[target] += 1
+            improved = True
+        if not improved:
+            break
+
+
+def _best_move(
+    graph: ComponentGraph,
+    assignment: Dict[str, int],
+    name: str,
+    source: int,
+) -> Optional[tuple]:
+    """The adjacent shard whose adoption of ``name`` cuts the most
+    channels, as ``(shard, gain)`` with ``gain > 0``; None otherwise."""
+    around = graph.adjacency.get(name, {})
+    # Channels to each shard from this component.
+    per_shard: Dict[int, int] = {}
+    for neighbor, channel_indices in around.items():
+        shard = assignment[neighbor]
+        per_shard[shard] = per_shard.get(shard, 0) + len(channel_indices)
+    home = per_shard.get(source, 0)
+    best: Optional[tuple] = None
+    for shard in sorted(per_shard):
+        if shard == source:
+            continue
+        gain = per_shard[shard] - home
+        if gain <= 0:
+            continue
+        if best is None or gain > best[1]:
+            best = (shard, gain)
+    return best
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _shard_weights(
+    graph: ComponentGraph, assignment: Dict[str, int], k: int
+) -> List[int]:
+    weights = [0] * k
+    for name, shard in assignment.items():
+        weights[shard] += graph.components[name].weight
+    return weights
+
+
+def _shard_counts(assignment: Dict[str, int], k: int) -> List[int]:
+    counts = [0] * k
+    for shard in assignment.values():
+        counts[shard] += 1
+    return counts

@@ -158,6 +158,10 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-lint", action="store_true",
                         help="skip the pre-fan-out lint of the base "
                         "config and sweep payloads")
+    parser.add_argument("--partition", type=int, metavar="K", default=None,
+                        help="pre-fan-out gate: plan and P-rule-verify a "
+                        "K-way partition of the base config; abort on "
+                        "errors (see docs/PARTITIONING.md)")
     parser.add_argument("--smoke", action="store_true",
                         help="before fanning out, run the base point "
                         "briefly under all runtime sanitizers "
@@ -194,6 +198,34 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
             print("lint found errors; not launching sweep workers",
                   file=sys.stderr)
             return 2
+    if args.partition is not None:
+        # Partition gate: a sweep whose base config cannot be soundly
+        # sharded should fail here, with rule ids, not after the future
+        # PDES runtime has fanned out k worker processes per point.
+        from repro.config.settings import Settings, SettingsError
+        from repro.lint import lint_partition
+
+        try:
+            base_settings = Settings.from_dict(base_config)
+        except SettingsError as exc:
+            print(f"partition gate: config does not resolve: {exc}",
+                  file=sys.stderr)
+            return 2
+        report, manifest = lint_partition(
+            base_settings, k=args.partition,
+            subject=f"partition:{args.name}",
+        )
+        if report.findings:
+            print(report.render_text(), file=sys.stderr)
+        if report.has_errors():
+            print("partition gate found errors; not launching sweep "
+                  "workers", file=sys.stderr)
+            return 2
+        if not args.quiet and manifest is not None:
+            lookahead = manifest["lookahead"]["global"]
+            print(f"partition gate: k={args.partition}, "
+                  f"{len(manifest['cut_channels'])} cut channel(s), "
+                  f"lookahead {lookahead}", file=sys.stderr)
     if args.smoke:
         from repro.sanitize import SanitizerError
 

@@ -122,3 +122,142 @@ def test_sssweep_lint_gate_blocks_fanout(tmp_path, capsys):
     assert rc == 2
     err = capsys.readouterr().err
     assert "C007" in err and "not launching" in err
+
+
+# -- partition planning / verification (docs/PARTITIONING.md) ----------------
+
+
+def test_sslint_partition_plans_and_summarizes(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert sslint_main([path, "--partition", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+    assert "partition: k=4" in out
+    assert "lookahead" in out
+
+
+def test_sslint_partition_all_builtins_clean(capsys):
+    assert sslint_main(
+        ["--builtin", "all", "--partition", "4", "--max-pairs", "64"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.count("partition: k=4") == 4
+
+
+def test_sslint_manifest_out_is_deterministic(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    assert sslint_main(
+        [path, "--partition", "4", "--manifest-out", str(first)]
+    ) == 0
+    assert sslint_main(
+        [path, "--partition", "4", "--manifest-out", str(second)]
+    ) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_sslint_manifest_out_directory_for_many(tmp_path, capsys):
+    out_dir = tmp_path / "plans"
+    assert sslint_main(
+        ["--builtin", "all", "--partition", "2", "--max-pairs", "64",
+         "--manifest-out", str(out_dir)]
+    ) == 0
+    capsys.readouterr()
+    written = sorted(p.name for p in out_dir.iterdir())
+    assert len(written) == 4
+    assert all(name.endswith(".partition.json") for name in written)
+
+
+def test_sslint_manifest_roundtrip_verifies_clean(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    manifest = tmp_path / "plan.json"
+    assert sslint_main(
+        [path, "--partition", "2", "--manifest-out", str(manifest)]
+    ) == 0
+    capsys.readouterr()
+    assert sslint_main([path, "--manifest", str(manifest)]) == 0
+
+
+def test_sslint_manifest_catches_tampering(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    manifest_path = tmp_path / "plan.json"
+    assert sslint_main(
+        [path, "--partition", "2", "--manifest-out", str(manifest_path)]
+    ) == 0
+    capsys.readouterr()
+    manifest = json.loads(manifest_path.read_text())
+    manifest["lookahead"]["global"] = 10_000
+    manifest_path.write_text(json.dumps(manifest))
+    assert sslint_main([path, "--manifest", str(manifest_path)]) == 1
+    assert "P003" in capsys.readouterr().out
+
+
+def test_sslint_partition_and_manifest_are_exclusive(tmp_path):
+    path = _write_config(tmp_path, blast_pulse_config())
+    with pytest.raises(SystemExit) as excinfo:
+        sslint_main([path, "--partition", "2", "--manifest", "x.json"])
+    assert excinfo.value.code == 2
+
+
+def test_sslint_list_rules_layer_filter(capsys):
+    assert sslint_main(["--list-rules", "--layer", "partition"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("P001", "P008"):
+        assert rule_id in out
+    assert "C001" not in out and "G001" not in out
+
+
+def test_sslint_layer_restricts_source_lint(tmp_path, capsys):
+    source = tmp_path / "model.py"
+    source.write_text(
+        "import random\n"
+        "class M:\n"
+        "    def pick(self):\n"
+        "        return random.random() + self.peer.bias\n"
+    )
+    assert sslint_main([str(source), "--layer", "partition"]) == 0
+    out = capsys.readouterr().out
+    assert "P006" in out and "D001" not in out
+
+
+def test_supersim_partition_plan_emits_manifest(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert supersim_main([path, "--partition-plan", "4"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["k"] == 4
+    assert manifest["lookahead"]["global"] >= 1
+    assert len(manifest["shards"]) == 4
+
+
+def test_supersim_partition_plan_fails_on_bad_k(tmp_path, capsys):
+    path = _write_config(tmp_path, blast_pulse_config())
+    assert supersim_main([path, "--partition-plan", "0"]) == 1
+    err = capsys.readouterr().err
+    assert "P005" in err and "no manifest emitted" in err
+
+
+def test_sssweep_partition_gate_passes_and_reports(tmp_path, capsys):
+    from repro.tools.cli import sssweep_main
+
+    path = _write_config(tmp_path, blast_pulse_config())
+    rc = sssweep_main(
+        [path, "--var", "S=simulator.seed=uint=1,2", "--workers", "1",
+         "--max-time", "200", "--partition", "4"]
+    )
+    assert rc == 0
+    assert "partition gate: k=4" in capsys.readouterr().err
+
+
+def test_sssweep_partition_gate_blocks_fanout(tmp_path, capsys):
+    from repro.tools.cli import sssweep_main
+
+    path = _write_config(tmp_path, blast_pulse_config())
+    rc = sssweep_main(
+        [path, "--var", "S=simulator.seed=uint=1,2", "--workers", "1",
+         "--partition", "0", "--quiet"]
+    )
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "P005" in err and "not launching" in err

@@ -74,6 +74,40 @@ def test_sarif_config_findings_use_logical_locations():
     assert logical["fullyQualifiedName"] == "network.num_vcs"
 
 
+def test_fingerprint_v2_partition_findings_are_message_insensitive():
+    # Graph/partition findings without a source location quote
+    # network-derived quantities (cut counts, lookahead values) that
+    # drift as the planner evolves; the v2 fingerprint pins only
+    # rule + subject + config path.
+    a = Finding("P003", Severity.ERROR, "lookahead 5 exceeds 4",
+                config_path="partition.lookahead")
+    b = Finding("P003", Severity.ERROR, "lookahead 7 exceeds 6",
+                config_path="partition.lookahead")
+    c = Finding("P003", Severity.ERROR, "lookahead 5 exceeds 4",
+                config_path="partition.shards")
+    assert fingerprint(a) == fingerprint(b)
+    assert fingerprint(a) != fingerprint(c)
+    assert fingerprint(a, "cfg-1") != fingerprint(a, "cfg-2")
+    # Config-layer findings still pin the message (it carries the
+    # offending value).
+    d = Finding("C003", Severity.ERROR, "num_vcs is 3",
+                config_path="network.num_vcs")
+    e = Finding("C003", Severity.ERROR, "num_vcs is 5",
+                config_path="network.num_vcs")
+    assert fingerprint(d) != fingerprint(e)
+    # Partition AST findings carry a source location and keep the
+    # message like every other source-layer rule.
+    f = Finding("P006", Severity.WARNING, "touches self.peer.x",
+                location="model.py:10")
+    g = Finding("P006", Severity.WARNING, "touches self.peer.y",
+                location="model.py:10")
+    assert fingerprint(f) != fingerprint(g)
+
+
+def test_fingerprint_key_is_versioned():
+    assert FINGERPRINT_KEY == "sslintFingerprint/v2"
+
+
 def test_fingerprint_is_line_insensitive_but_content_sensitive():
     a = Finding("E001", Severity.WARNING, "handle retained",
                 location="model.py:10")

@@ -1,0 +1,186 @@
+"""The partition planner: goldens, invariants, and determinism.
+
+Golden values pin the planner's exact output on the builtin configs at
+k in {2, 4}.  They are not sacred -- a planner improvement may move
+them -- but a move must be noticed and re-verified (zero P-errors,
+lookahead >= 1), not slipped in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.settings import Settings
+from repro.configs import (
+    blast_pulse_config,
+    credit_accounting_config,
+    flow_control_config,
+    latent_congestion_config,
+)
+from repro.lint.graph import GraphAnalysis
+from repro.partition import (
+    ComponentGraph,
+    PartitionError,
+    build_manifest,
+    plan,
+    plan_partition,
+    to_canonical_json,
+)
+
+
+def _graph(config) -> ComponentGraph:
+    analysis = GraphAnalysis(Settings.from_dict(config), max_pairs=0)
+    assert analysis.network is not None, analysis.construction_error
+    return ComponentGraph.from_analysis(analysis)
+
+
+@pytest.fixture(scope="module")
+def torus_graph():
+    return _graph(blast_pulse_config())
+
+
+# -- goldens -----------------------------------------------------------------
+
+#: (config builder, k) -> (shard sizes, shard weights, cut channel
+#: count, global lookahead).
+GOLDENS = {
+    ("blast_pulse", 2): ([16, 16], [48, 48], 48, 5),
+    ("blast_pulse", 4): ([8, 8, 8, 8], [24, 24, 24, 24], 80, 5),
+    ("latent_congestion", 2): ([42, 70], [176, 208], 160, 50),
+    ("latent_congestion", 4): ([28, 28, 26, 30], [105, 105, 88, 86],
+                               216, 50),
+    ("credit_accounting", 2): ([20, 20], [60, 60], 64, 50),
+    ("credit_accounting", 4): ([10, 10, 10, 10], [30, 30, 30, 30],
+                               96, 50),
+    ("flow_control", 2): ([60, 68], [240, 272], 232, 5),
+    ("flow_control", 4): ([32, 30, 34, 32], [128, 120, 136, 128],
+                          380, 5),
+}
+
+_BUILDERS = {
+    "blast_pulse": blast_pulse_config,
+    "latent_congestion": latent_congestion_config,
+    "credit_accounting": credit_accounting_config,
+    "flow_control": flow_control_config,
+}
+
+
+@pytest.mark.parametrize("name,k", sorted(GOLDENS))
+def test_builtin_goldens(name, k):
+    sizes, weights, cut, lookahead = GOLDENS[(name, k)]
+    manifest = plan_partition(Settings.from_dict(_BUILDERS[name]()), k)
+    assert [len(s["components"]) for s in manifest["shards"]] == sizes
+    assert [s["weight"] for s in manifest["shards"]] == weights
+    assert len(manifest["cut_channels"]) == cut
+    assert manifest["lookahead"]["global"] == lookahead
+
+
+# -- invariants --------------------------------------------------------------
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 7])
+def test_assignment_partitions_component_set_exactly(torus_graph, k):
+    assignment = plan(torus_graph, k)
+    assert set(assignment) == set(torus_graph.components)
+    assert set(assignment.values()) <= set(range(k))
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_cut_latencies_bound_the_lookahead(torus_graph, k):
+    assignment = plan(torus_graph, k)
+    manifest = build_manifest(torus_graph, assignment, k)
+    lookahead = manifest["lookahead"]["global"]
+    assert lookahead >= 1
+    for entry in manifest["cut_channels"]:
+        assert entry["latency"] >= lookahead
+        assert entry["source_shard"] != entry["sink_shard"]
+    for shard_id, value in manifest["lookahead"]["per_shard"].items():
+        inbound = [
+            e["latency"] for e in manifest["cut_channels"]
+            if e["sink_shard"] == int(shard_id)
+        ]
+        assert value == (min(inbound) if inbound else None)
+
+
+def test_k_equals_one_has_no_cut(torus_graph):
+    assignment = plan(torus_graph, 1)
+    assert set(assignment.values()) == {0}
+    manifest = build_manifest(torus_graph, assignment, 1)
+    assert manifest["cut_channels"] == []
+    assert manifest["lookahead"]["global"] is None
+
+
+def test_k_at_least_component_count_is_one_per_shard(torus_graph):
+    n = len(torus_graph.components)
+    assignment = plan(torus_graph, n)
+    assert sorted(assignment.values()) == list(range(n))
+
+
+@pytest.mark.parametrize("k", [0, -1])
+def test_bad_k_raises(torus_graph, k):
+    with pytest.raises(PartitionError):
+        plan(torus_graph, k)
+
+
+def test_bad_tolerance_raises(torus_graph):
+    with pytest.raises(PartitionError):
+        plan(torus_graph, 2, tolerance=0.5)
+
+
+def test_empty_graph_raises():
+    with pytest.raises(PartitionError):
+        plan(ComponentGraph(), 2)
+
+
+# -- determinism -------------------------------------------------------------
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_manifests_are_byte_identical_across_runs(k):
+    settings_a = Settings.from_dict(blast_pulse_config())
+    settings_b = Settings.from_dict(blast_pulse_config())
+    first = to_canonical_json(plan_partition(settings_a, k))
+    second = to_canonical_json(plan_partition(settings_b, k))
+    assert first == second
+
+
+# -- the latency-override regression (lint/graph.py bugfix) ------------------
+
+def test_channel_records_report_post_override_latency():
+    settings = Settings.from_dict(
+        blast_pulse_config(),
+        overrides=["network.channel_latency=uint=7"],
+    )
+    analysis = GraphAnalysis(settings, max_pairs=0)
+    assert analysis.network is not None
+    live = {
+        channel.full_name: channel.latency
+        for device in (
+            list(analysis.network.routers)
+            + list(analysis.network.interfaces)
+        )
+        for channel in (
+            list(device._flit_out) + list(device._credit_out)
+        )
+        if channel is not None
+    }
+    router_to_router = [
+        record for record in analysis.channels
+        if record.kind == "flit"
+        and "interface" not in record.source
+        and "interface" not in record.sink
+    ]
+    assert router_to_router
+    for record in router_to_router:
+        assert record.latency == 7
+    for record in analysis.channels:
+        assert record.latency == live[record.name]
+
+
+def test_overridden_latency_flows_into_cut_channels():
+    settings = Settings.from_dict(
+        blast_pulse_config(),
+        overrides=["network.channel_latency=uint=9"],
+    )
+    manifest = plan_partition(settings, 2)
+    latencies = {e["latency"] for e in manifest["cut_channels"]}
+    assert latencies == {9}
+    assert manifest["lookahead"]["global"] == 9
