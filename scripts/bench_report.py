@@ -15,6 +15,11 @@ be taken on every PR:
   folded-Clos / OQ-router / adaptive-routing workload (case study A).
 * ``sweep_worker_scaling`` (``--sweep``): a 16-job sweep at workers=1
   vs workers=4, verifying identical rows and recording both wall times.
+* ``partition_speedup`` (``--partition``): the sharded PDES runtime at
+  k=2 and k=4 (one spawned worker process per shard) against the
+  single-process run of the same workload, with per-shard event rates;
+  on a single-core host this measures runtime overhead, qualified by
+  the recorded ``cpu_count``.
 
 Usage::
 
@@ -130,14 +135,11 @@ def _timed_simulation(config: dict, max_time: int):
     exact same event sequence and the timings are comparable.
     """
     import copy
-    import itertools
 
     from repro import Settings, Simulation
-    from repro.net import packet as packet_mod
+    from repro.net.packet import preserve_packet_ids
 
-    saved = next(packet_mod._global_packet_ids)
-    packet_mod._global_packet_ids = itertools.count(saved)
-    try:
+    with preserve_packet_ids():
         start = time.perf_counter()
         simulation = Simulation(
             Settings.from_dict(copy.deepcopy(config))
@@ -145,8 +147,6 @@ def _timed_simulation(config: dict, max_time: int):
         simulation.run(max_time=max_time)
         elapsed = time.perf_counter() - start
         return elapsed, simulation.simulator.executed_events
-    finally:
-        packet_mod._global_packet_ids = itertools.count(saved)
 
 
 def bench_simulation_rate(rounds: int) -> None:
@@ -214,6 +214,70 @@ def bench_sweep_scaling() -> None:
         raise SystemExit("parallel sweep rows diverged from serial rows")
 
 
+def bench_partition_speedup() -> None:
+    """Sharded (spawn-mode) wall clock vs the single-process run.
+
+    On a single-core container this measures the *overhead* of the PDES
+    runtime (window barriers, record pickling, phantom replay -- every
+    worker re-executes the full workload's generate events), not a
+    speedup; the recorded ``cpu_count`` qualifies the number.  The
+    digest cross-check still makes it a correctness data point.
+    """
+    from repro import Settings, Simulation
+    from repro.net.packet import preserve_packet_ids
+    from repro.partition.runtime import run_sharded
+    from tests.conftest import small_torus_config
+
+    def config() -> dict:
+        return small_torus_config(
+            warmup_duration=100, generate_duration=400
+        )
+
+    max_time = 50_000
+    with preserve_packet_ids():
+        start = time.perf_counter()
+        simulation = Simulation(Settings.from_dict(config()))
+        results = simulation.run(max_time=max_time)
+        single_s = time.perf_counter() - start
+    single_events = simulation.simulator.executed_events
+    assert results.drained
+
+    for k in (2, 4):
+        workload = config()
+        workload["simulator"]["max_time"] = max_time
+        start = time.perf_counter()
+        sharded = run_sharded(workload, k=k, shard_workers=k)
+        elapsed = time.perf_counter() - start
+        shards = [
+            {
+                "shard": report["shard"],
+                "events_executed": report["events_executed"],
+                "events_per_sec": report["events_executed"] / elapsed,
+            }
+            for report in sharded.reports
+        ]
+        record(
+            "partition_speedup",
+            {
+                "k": k,
+                "mode": sharded.mode,
+                "windows": sharded.windows,
+                "lookahead": sharded.lookahead,
+                "records_exchanged": sharded.records_exchanged,
+                "single_seconds": single_s,
+                "single_events": single_events,
+                "sharded_seconds": elapsed,
+                "speedup": single_s / elapsed if elapsed else None,
+                "drained": sharded.drained,
+                "shards": shards,
+            },
+        )
+        print(f"partition_speedup: k={k} ({sharded.mode}), "
+              f"single {single_s:.2f}s vs sharded {elapsed:.2f}s "
+              f"({sharded.windows} windows, "
+              f"{sharded.records_exchanged} records)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5,
@@ -222,12 +286,18 @@ def main() -> int:
                         help="also run the (slower) sweep scaling benchmark")
     parser.add_argument("--skip-sim", action="store_true",
                         help="skip the full-simulation event-rate benchmarks")
+    parser.add_argument("--partition", action="store_true",
+                        help="also benchmark the sharded PDES runtime "
+                        "(spawn-mode workers) against the single-process "
+                        "run")
     args = parser.parse_args()
     bench_event_queue(args.rounds)
     if not args.skip_sim:
         bench_simulation_rate(args.rounds)
     if args.sweep:
         bench_sweep_scaling()
+    if args.partition:
+        bench_partition_speedup()
     print(f"appended to {BENCH_FILE}")
     return 0
 

@@ -8,14 +8,19 @@ runs the full P-rule layer over the planned manifest, and fails on:
 * a global lookahead below 1 tick (the partition would be useless),
 * a manifest that is not byte-identical when planned twice (the
   determinism contract of docs/PARTITIONING.md),
-* a SARIF export that is structurally invalid.
+* a SARIF export that is structurally invalid,
+* a sharded k=2 run (in-process workers) whose merged delivery digest
+  differs from the single-process run of the same config -- the
+  execution-equivalence contract of the PDES runtime.
 
 Run directly (``python scripts/partition_gate.py``) or via
-``scripts/ci_check.sh``; set SUPERSIM_SKIP_PARTITION=1 to skip there.
+``scripts/ci_check.sh``; set SUPERSIM_SKIP_PARTITION=1 to skip either
+way.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 K = 4
@@ -50,12 +55,61 @@ def check_sarif(log: dict) -> list:
     return problems
 
 
+def runtime_smoke() -> list:
+    """Sharded k=2 execution must reproduce the single-process digest."""
+    import itertools
+
+    import repro.net.message as message_mod
+    import repro.net.packet as packet_mod
+    from repro import configs as builders
+    from repro.config.settings import Settings
+    from repro.net.packet import preserve_packet_ids
+    from repro.partition.runtime import PartitionRuntimeError, run_sharded
+    from repro.sanitize import attach_sanitizers
+    from repro.sim import Simulation
+
+    max_time = 2_000
+    config = builders.latent_congestion_config(
+        injection_rate=0.15, warmup=50, window=150, half_radix=2
+    )
+    # Shard workers count ids from zero like a fresh process; the
+    # reference run must too (packet ids feed routing decisions).
+    with preserve_packet_ids():
+        packet_mod._global_packet_ids = itertools.count(0)
+        message_mod._global_message_ids = itertools.count(0)
+        simulation = Simulation(Settings.from_dict(config))
+        with attach_sanitizers(simulation, "det") as suite:
+            results = simulation.run(max_time=max_time)
+            suite.finish()
+            digest = suite.report()["det"]["delivery_digest"]
+    if not results.drained:
+        return ["single-process reference run did not drain"]
+    config.setdefault("simulator", {})["max_time"] = max_time
+    try:
+        sharded = run_sharded(config, k=2, sanitize="det")
+    except PartitionRuntimeError as exc:
+        return [f"sharded run failed: {exc}"]
+    problems = []
+    if not sharded.drained:
+        problems.append("sharded run did not drain")
+    if sharded.delivery_digest != digest:
+        problems.append(
+            f"sharded delivery digest {sharded.delivery_digest} != "
+            f"single-process {digest}"
+        )
+    return problems
+
+
 def main() -> int:
     from repro import configs as builders
     from repro.config.settings import Settings
     from repro.lint import lint_partition
     from repro.lint.sarif import to_sarif
     from repro.partition import to_canonical_json
+
+    if os.environ.get("SUPERSIM_SKIP_PARTITION", "0") != "0":
+        print("partition gate: skipped (SUPERSIM_SKIP_PARTITION set)")
+        return 0
 
     names = sorted(
         attr for attr in dir(builders)
@@ -103,6 +157,16 @@ def main() -> int:
             print(f"  {problem}")
     else:
         print("ok   sarif export validates")
+
+    smoke_problems = runtime_smoke()
+    if smoke_problems:
+        failures += 1
+        print("FAIL sharded runtime smoke (k=2):")
+        for problem in smoke_problems:
+            print(f"  {problem}")
+    else:
+        print("ok   sharded runtime smoke: k=2 digest matches "
+              "single-process")
 
     if failures:
         print(f"partition gate: {failures} failure(s)")

@@ -79,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
         "without simulating (see docs/PARTITIONING.md)",
     )
     parser.add_argument(
+        "--partition",
+        type=int,
+        metavar="K",
+        default=None,
+        help="run the simulation sharded K ways under the PDES runtime "
+        "(conservative windows; results are digest-equal to a "
+        "single-process run -- see docs/PARTITIONING.md)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        metavar="N",
+        default=0,
+        help="worker processes for --partition: 0 (default) executes "
+        "every shard in-process, K spawns one process per shard",
+    )
+    parser.add_argument(
         "--sanitize",
         metavar="NAMES",
         default=None,
@@ -165,6 +182,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         if report.has_errors():
             print("lint found errors; not simulating", file=sys.stderr)
             return 1
+    if args.partition is not None:
+        from repro.factory.registry import FactoryError
+        from repro.partition.runtime import PartitionRuntimeError, run_sharded
+        from repro.sanitize import SanitizerError
+
+        config = settings.raw()
+        if args.max_time is not None:
+            config.setdefault("simulator", {})["max_time"] = args.max_time
+        try:
+            results = run_sharded(
+                config,
+                k=args.partition,
+                shard_workers=args.shard_workers,
+                sanitize=args.sanitize or "",
+            )
+        except FactoryError as exc:
+            print(f"supersim: --sanitize: {exc}", file=sys.stderr)
+            return 2
+        except SanitizerError as exc:
+            print(f"sanitizer violation: {exc}", file=sys.stderr)
+            return 3
+        except PartitionRuntimeError as exc:
+            print(f"supersim: --partition: {exc}", file=sys.stderr)
+            return 2
+        summary = results.summary()
+        output = settings.child("output", default={})
+        log_path = output.get("message_log", None)
+        if log_path:
+            with open(log_path, "w", encoding="utf-8") as handle:
+                for record in results.records:
+                    handle.write(json.dumps(record.to_dict()))
+                    handle.write("\n")
+            summary["message_log"] = {
+                "path": log_path,
+                "records": len(results.records),
+            }
+        summary_path = output.get("summary", None)
+        if summary_path:
+            with open(summary_path, "w", encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2)
+        if not args.quiet:
+            json.dump(summary, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        return 0 if results.drained else 1
     simulation = Simulation(settings)
     profiler = None
     if args.profile is not None:

@@ -58,7 +58,7 @@ from sys import getrefcount as _getrefcount
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.event import Event
-from repro.core.simtime import TimeStep
+from repro.core.simtime import MAX_EPSILON, TimeStep
 
 TimeLike = Union[TimeStep, int]
 
@@ -384,6 +384,58 @@ class Simulator:
         for observer in self._observers:
             observer(self)
         return self.now
+
+    def run_until(self, end_tick: int) -> int:
+        """Execute every pending event strictly before tick ``end_tick``.
+
+        The windowed run primitive for conservative PDES
+        (:mod:`repro.partition.runtime`): every epsilon of tick
+        ``end_tick - 1`` executes (up to the ``MAX_EPSILON`` sanity
+        bound), nothing at or past ``end_tick`` does, and the queue
+        state is left resumable -- the next ``run_until`` (or ``run``)
+        picks up exactly where this one stopped.  Returns the number of
+        events executed by this call.
+        """
+        if end_tick < 1:
+            raise SimulationError(
+                f"run_until needs a positive window end, got {end_tick}"
+            )
+        before = self._executed_events
+        self.run(max_time=TimeStep(end_tick - 1, MAX_EPSILON))
+        return self._executed_events - before
+
+    def inject(
+        self,
+        tick: int,
+        handler: Callable[["Event"], None],
+        data: Any = None,
+        epsilon: int = 0,
+    ) -> Event:
+        """Schedule an event from *outside* the event loop.
+
+        External injection surface for cross-shard traffic: a PDES
+        ingress proxy materializes records between windows and lands
+        them here.  Unlike ``call_at`` (whose causality check only
+        guards the running loop), this refuses to schedule at or before
+        the last executed timestamp even while the simulator is paused
+        -- a record due inside an already-executed window is a lookahead
+        violation, not a scheduling convenience.
+        """
+        if self._running:
+            raise SimulationError(
+                "inject() is for paused simulators; use call_at/schedule "
+                "from inside event handlers"
+            )
+        if tick < 0 or epsilon < 0 or epsilon >= EPSILON_LIMIT:
+            raise self._bad_time(tick, epsilon)
+        key = (tick << EPSILON_BITS) | epsilon
+        if self._executed_events and key <= self._now_key:
+            raise SimulationError(
+                f"inject at ({tick}, {epsilon}) is causally illegal: "
+                f"events through ({self.tick}, {self.epsilon}) already "
+                "executed"
+            )
+        return self.call_at(tick, handler, data, epsilon)
 
     def _run_unbounded(self) -> None:
         """Drain the queue with no limit checks (the common case).

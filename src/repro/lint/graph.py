@@ -134,16 +134,13 @@ class GraphAnalysis:
     # -- construction --------------------------------------------------------
 
     def _run(self, settings: Settings, max_pairs: int) -> None:
-        import repro.net.message as message_mod
-        import repro.net.packet as packet_mod
+        from repro.net.packet import preserve_packet_ids
 
         # Tracing creates Message/Packet objects, which advance the
         # module-global id counters that feed deterministic VC rotation
         # (e.g. DOR's ``global_id % len(vcs)``).  Restore them so a lint
         # pass before a simulation does not perturb its results.
-        saved_packet = next(packet_mod._global_packet_ids)
-        saved_message = next(message_mod._global_message_ids)
-        try:
+        with preserve_packet_ids():
             self._build(settings)
             if self.network is not None:
                 self._scan_ports()
@@ -151,9 +148,6 @@ class GraphAnalysis:
                 self._trace(max_pairs)
                 self.full_cycle = _find_cycle(self.full_edges)
                 self.escape_cycle = _find_cycle(self.escape_edges)
-        finally:
-            packet_mod._global_packet_ids = itertools.count(saved_packet)
-            message_mod._global_message_ids = itertools.count(saved_message)
 
     def _build(self, settings: Settings) -> None:
         models.load_all()

@@ -78,6 +78,14 @@ class ChannelError(RuntimeError):
 class Channel(Component):
     """A unidirectional flit link with latency and one-flit-per-cycle pacing."""
 
+    #: True on channels cut by a shard partition: the sharded runtime
+    #: (:mod:`repro.partition.runtime`) replaces one endpoint with a
+    #: proxy (egress serializes sends onto IPC; ingress lands records
+    #: through ``_deliver_item``), so per-link invariant checkers that
+    #: need both endpoints (CreditSan) must skip these links.  Always
+    #: False in single-process simulation.
+    shard_proxy = False
+
     def __init__(
         self,
         simulator: "Simulator",
@@ -192,6 +200,9 @@ class CreditChannel(Component):
     same link free slots in the same cycle); the coalesced path delivers
     all of them from a single event.
     """
+
+    #: see :attr:`Channel.shard_proxy`.
+    shard_proxy = False
 
     def __init__(
         self,

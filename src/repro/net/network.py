@@ -33,6 +33,44 @@ class NetworkError(RuntimeError):
     """Raised for inconsistent network construction."""
 
 
+# -- shard-restricted construction (PDES workers) ---------------------------
+#
+# A shard worker must build the *whole* network object graph -- component
+# names, channel wiring, RNG label registration and id sequences have to
+# match the single-process run exactly -- but only the routers of its own
+# shard ever execute, so only those need finalize() (routing-engine
+# construction and congestion-sensor port init, the expensive part of
+# construction).  Foreign routers stay inert skeletons: wired, named,
+# never scheduled.
+
+_FINALIZE_RESTRICTION: Optional[frozenset] = None
+
+
+class shard_build_scope:
+    """Context manager restricting ``finalize()`` to named components.
+
+    ``names`` holds component full names (a manifest shard's
+    ``components`` list).  While active, any Network constructed only
+    finalizes routers whose ``full_name`` is in the set.  Interfaces are
+    unaffected (their construction is cheap and phantom patching happens
+    post-build).  Not reentrant; single-threaded use only.
+    """
+
+    def __init__(self, names) -> None:
+        self._names = frozenset(names)
+        self._previous: Optional[frozenset] = None
+
+    def __enter__(self) -> "shard_build_scope":
+        global _FINALIZE_RESTRICTION
+        self._previous = _FINALIZE_RESTRICTION
+        _FINALIZE_RESTRICTION = self._names
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _FINALIZE_RESTRICTION
+        _FINALIZE_RESTRICTION = self._previous
+
+
 def wire(
     network: "Network",
     a: PortedDevice,
@@ -122,8 +160,10 @@ class Network(Component):
         self._link_count = 0
 
         self._build()
+        restriction = _FINALIZE_RESTRICTION
         for router in self.routers:
-            router.finalize()
+            if restriction is None or router.full_name in restriction:
+                router.finalize()
         self._check_fully_wired()
 
     # -- subclass contract -------------------------------------------------------

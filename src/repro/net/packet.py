@@ -8,8 +8,9 @@ head flit makes decisions that all body flits follow.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 from repro.net.flit import FLIT_SLAB, Flit
 
@@ -17,6 +18,32 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
 
 _global_packet_ids = itertools.count()
+
+
+@contextlib.contextmanager
+def preserve_packet_ids() -> Iterator[None]:
+    """Restore the process-global packet *and* message id counters on exit.
+
+    Packet ``global_id`` feeds routing decisions (DOR VC rotation, the
+    folded-Clos up-port hash), so two same-seed simulations in one
+    process only behave identically when each starts from the same
+    counter position.  Every caller that runs a throwaway or auxiliary
+    simulation (lint network construction, benchmark rounds, golden
+    digest runs, shard workers) wraps it in this context manager so the
+    counters come back to where they started.
+    """
+    global _global_packet_ids
+    from repro.net import message as message_mod
+
+    saved_packet = next(_global_packet_ids)
+    saved_message = next(message_mod._global_message_ids)
+    _global_packet_ids = itertools.count(saved_packet)
+    message_mod._global_message_ids = itertools.count(saved_message)
+    try:
+        yield
+    finally:
+        _global_packet_ids = itertools.count(saved_packet)
+        message_mod._global_message_ids = itertools.count(saved_message)
 
 
 class Packet:

@@ -4,7 +4,7 @@ The road to PDES (ROADMAP item 2) starts before any worker process
 exists: given a config, compute a good k-way shard assignment of the
 network's components and *prove it safe* -- every shard crossing is a
 latency-bearing channel, so conservative lookahead synchronization
-works.  This package owns the first half of that bargain:
+works.  This package owns planning and execution:
 
 * :mod:`repro.partition.graph` -- the component graph (routers,
   interfaces, channels with post-override latencies), extracted from
@@ -13,12 +13,20 @@ works.  This package owns the first half of that bargain:
   k-way partitioning, weighted by router radix, minimizing cut
   channels.
 * :mod:`repro.partition.manifest` -- the JSON partition manifest the
-  future PDES runtime consumes verbatim (shard membership, cut
-  channels, per-shard conservative lookahead).
+  runtime consumes verbatim (shard membership, cut channels, per-shard
+  conservative lookahead).
+* :mod:`repro.partition.runtime` -- the sharded executor itself:
+  conservative barrier windows of ``lookahead`` ticks, proxy channel
+  endpoints serializing cut traffic as record streams
+  (:mod:`repro.partition.proxy`), in-process or spawned workers, and
+  merged results that are digest-equal to the single-process run.
+  Imported lazily (``from repro.partition.runtime import run_sharded``)
+  so planning stays dependency-free.
 
-The second half -- verifying manifests, planned or hand-written -- is
-the P-rule lint layer in :mod:`repro.lint.partition_rules`.  Entry
-points: ``sslint --partition K``, ``supersim --partition-plan K``, and
+Verifying manifests, planned or hand-written, is the P-rule lint
+layer in :mod:`repro.lint.partition_rules`.  Entry points: ``sslint
+--partition K``, ``supersim --partition-plan K`` (plan only),
+``supersim --partition K [--shard-workers N]`` (execute), and
 ``sssweep --partition K``.  See docs/PARTITIONING.md.
 """
 

@@ -1,0 +1,1080 @@
+"""Sharded conservative-PDES executor driven by partition manifests.
+
+:func:`run_sharded` executes one simulation configuration as ``k``
+communicating sub-simulations, one per shard of a PR-5 partition
+manifest (:mod:`repro.partition.manifest`).  Each worker builds the
+*full* component graph -- names, wiring, RNG label registration and id
+sequences must match the single-process run bit-for-bit -- but only its
+own shard's routers are finalized and driven.  Channels crossing the
+cut are replaced by proxy endpoints (:mod:`repro.partition.proxy`) that
+serialize sends into plain-tuple records; the coordinator routes the
+records to the sink shards between windows, where they are injected
+through the channels' ordinary ``_deliver_item`` surface.
+
+Synchronization is conservative (no rollback).  The lookahead ``L`` is
+the manifest's global minimum cut-channel latency: a record produced in
+window ``[C0, C)`` has ``due >= C0 + L >= C`` (windows never exceed
+``L``), so exchanging records only at window barriers can never deliver
+one late.  Termination mirrors the single-process Workload handshake:
+
+* Ready/Start/Complete/Stop are *time-driven* for the supported
+  applications (blast with fixed warmup, pulse), so every worker
+  reaches them at identical ticks and no coordination is needed; the
+  coordinator computes the stop tick statically from the configuration
+  and caps pre-stop windows at it.
+* Done/Kill are *delivery-driven*, so workers' local ``done`` signals
+  are muted and the coordinator replays the decision globally: after
+  Stop every application's delivery target (blast: sampled messages
+  created; pulse: all messages created -- identical in every worker,
+  asserted) is compared against the merged delivery stream.  While
+  ``R`` relevant deliveries are still missing, windows shrink to
+  ``min(L, ceil(R / num_terminals))`` ticks: at most one message can
+  complete per interface per tick, so the kill tick is provably at
+  least that far away and no worker ever executes past it.  When ``R``
+  reaches zero the executed bound sits exactly on the kill tick (a
+  checked invariant) and the Kill command is applied between windows --
+  equivalent to the single-process kill, which executes after the
+  tick's generate events but only cancels events at strictly later
+  ticks.
+* After Kill, drain windows of ``L`` run until every worker's event
+  queue is empty and no records remain in flight.
+
+Correctness is anchored by DetSan: a worker attaches its sanitizers
+with ``DetSan(retain_buckets=True)``, and the merged per-shard delivery
+digests (:func:`repro.sanitize.det_san.merge_delivery_digests`) must
+equal the single-process delivery digest for the same seed.
+
+Two executors share all of the above:
+
+* ``shard_workers=0`` hosts every worker in the calling process and
+  round-robins the windows -- no IPC, deterministic, the mode the
+  digest-equality goldens run in.  Global id counters are virtualized
+  per worker (:class:`_IdScope`) so each worker sees the counters start
+  from zero exactly as a fresh process would.
+* ``shard_workers=k`` spawns one OS process per shard
+  (``multiprocessing`` spawn context) and exchanges commands over
+  pipes.  A worker crash is detected via the process sentinel and
+  surfaces as a :class:`PartitionRuntimeError` naming the shard -- the
+  coordinator never hangs on a dead worker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import traceback
+from multiprocessing import connection as _mp_connection
+from multiprocessing import get_context as _mp_get_context
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro.net.message as _message_mod
+import repro.net.packet as _packet_mod
+from repro.config.settings import Settings
+from repro.net.credit import Credit
+from repro.net.flit import FLIT_SLAB
+from repro.net.network import shard_build_scope
+from repro.net.phases import EPS_DELIVER
+from repro.partition.manifest import config_fingerprint
+from repro.partition.proxy import (
+    FLIT_RECORD,
+    Record,
+    ShardRegistry,
+    make_egress,
+    make_phantom_interface,
+)
+from repro.sim import Simulation
+from repro.stats.latency import LatencyDistribution
+from repro.stats.records import MessageRecord
+from repro.workload.blast import BlastApplication
+from repro.workload.pulse import PulseApplication
+from repro.workload.workload import Phase
+
+
+class PartitionRuntimeError(RuntimeError):
+    """Raised for sharded-execution failures (always names the shard)."""
+
+
+#: drain windows after Kill before declaring the run wedged.
+MAX_DRAIN_ROUNDS = 10_000
+
+
+# -- scope validation --------------------------------------------------------
+
+
+def validate_sharded_scope(config: dict, sanitize: str = "") -> None:
+    """Reject configurations the sharded runtime cannot replay exactly.
+
+    The phantom-terminal replay requires every workload control
+    transition to be time-driven and every worker to consume the shared
+    RNG streams in the same order; features that react to local-only
+    state (deliveries, monitors) would silently diverge, so they are
+    rejected up front with an explanation instead.
+    """
+    problems = []
+    workload = config.get("workload", {})
+    for index, app in enumerate(workload.get("applications", ())):
+        kind = app.get("type")
+        if kind not in ("blast", "pulse"):
+            problems.append(
+                f"application {index} has type {kind!r}; sharded execution "
+                f"supports only time-driven applications (blast, pulse)"
+            )
+        elif kind == "blast" and app.get("warmup_mode", "fixed") == "auto":
+            problems.append(
+                f"application {index}: warmup_mode 'auto' decides Ready "
+                f"from locally observed latencies, which differ per shard; "
+                f"use a fixed warmup_duration"
+            )
+    algorithm = (
+        config.get("network", {}).get("routing", {}).get("algorithm", "")
+    )
+    if algorithm.startswith(("dragonfly", "hyperx")):
+        problems.append(
+            f"routing algorithm {algorithm!r} selects VCs from "
+            f"packet.hop_count, which is bumped as the *tail* leaves a "
+            f"router; a sharded copy of the packet only learns of remote "
+            f"bumps at the next tail crossing, so head-time VC choices "
+            f"could diverge from a single-process run"
+        )
+    monitor = config.get("simulator", {}).get("monitor", {})
+    if monitor.get("period", 0) > 0:
+        problems.append(
+            "simulator.monitor.period > 0: the progress monitor samples "
+            "whole-network state a shard does not have; disable it"
+        )
+    if sanitize:
+        from repro.sanitize.base import _parse_spec
+
+        if "flit" in _parse_spec(sanitize):
+            problems.append(
+                "sanitizer 'flit' tracks flit custody across the whole "
+                "network and cannot see cut crossings; run it on a "
+                "single-process simulation instead"
+            )
+    if problems:
+        raise PartitionRuntimeError(
+            "configuration outside the sharded-runtime scope:\n  - "
+            + "\n  - ".join(problems)
+        )
+
+
+def _static_stop_schedule(config: dict) -> Tuple[int, int]:
+    """(start_tick, stop_tick) of the workload, computed without running.
+
+    Valid exactly for the applications :func:`validate_sharded_scope`
+    admits, whose Ready and Complete signals are pure functions of the
+    configuration (see the class docstrings of blast and pulse); every
+    worker's reported ticks are asserted against this schedule.
+    """
+    apps = config["workload"]["applications"]
+    ready = []
+    for app in apps:
+        if app["type"] == "blast":
+            ready.append(int(app.get("warmup_duration", 0)))
+        else:
+            ready.append(0)
+    t_start = max(ready)
+    complete = []
+    for app in apps:
+        rate = float(app.get("injection_rate", 0.0))
+        if app["type"] == "blast":
+            complete.append(t_start + int(app.get("generate_duration", 0)))
+        elif rate <= 0.0:
+            complete.append(t_start)
+        else:
+            delay = max(int(app.get("delay", 0)), 1)
+            # A missing duration fails in the worker's settings layer
+            # with a proper message; any placeholder works here.
+            duration = max(int(app.get("duration", 1)), 1)
+            complete.append(t_start + delay + duration)
+    return t_start, max(complete)
+
+
+# -- shard worker ------------------------------------------------------------
+
+
+def _land(event) -> None:
+    """Injected ingress event: deliver one materialized item.
+
+    Calls ``_deliver_item`` through the channel's class so sanitizer
+    method patches (DetSan's delivery digest, CreditSan) observe the
+    landing exactly as they observe a single-process delivery.
+    """
+    channel, item = event.data
+    channel._deliver_item(item)
+
+
+def _muted_done() -> None:
+    """Replaces ``app.done`` in workers: the coordinator decides Kill."""
+
+
+class ShardWorker:
+    """One shard's sub-simulation (used by both executors).
+
+    Drives the full network build (restricted finalize), phantom
+    patching of foreign interfaces, proxy installation, and the
+    windowed run protocol.  ``crash_mode`` is test-only fault
+    injection: ``"raise"`` raises and ``"exit"`` hard-exits the process
+    on the second window, exercising the coordinator's crash handling.
+    """
+
+    def __init__(
+        self,
+        config: dict,
+        manifest: dict,
+        shard_id: int,
+        sanitize: str = "",
+        crash_mode: Optional[str] = None,
+        check_slab: bool = True,
+    ):
+        validate_sharded_scope(config, sanitize)
+        fingerprint = config_fingerprint(config)
+        if fingerprint != manifest["config_fingerprint"]:
+            raise PartitionRuntimeError(
+                f"shard {shard_id}: manifest fingerprint "
+                f"{manifest['config_fingerprint']} does not match the "
+                f"configuration ({fingerprint}); re-plan the partition"
+            )
+        self.shard_id = shard_id
+        self._crash_mode = crash_mode
+        self._check_slab = check_slab
+        self._slab_baseline = FLIT_SLAB.live
+        self.local_names = frozenset(
+            manifest["shards"][shard_id]["components"]
+        )
+        with shard_build_scope(self.local_names):
+            self.simulation = Simulation(Settings(config))
+        self.simulator = self.simulation.simulator
+        network = self.simulation.network
+
+        self.local_interfaces = []
+        for interface in network.interfaces:
+            if interface.full_name in self.local_names:
+                self.local_interfaces.append(interface)
+            else:
+                make_phantom_interface(interface)
+
+        self.registry = ShardRegistry()
+        self.outbox: List[Record] = []
+        self._ingress: Dict[int, Any] = {}
+        self._egress_flit_cuts = []
+        for index, entry in enumerate(manifest["cut_channels"]):
+            channel = self.simulator.find_component(entry["name"])
+            if channel is None:
+                raise PartitionRuntimeError(
+                    f"shard {shard_id}: cut channel {entry['name']!r} not "
+                    f"found in the built network; manifest/config mismatch"
+                )
+            # Flag both endpoints' instances in every worker so link
+            # checkers (CreditSan) skip half-visible links.
+            channel.shard_proxy = True
+            if entry["source_shard"] == shard_id:
+                make_egress(channel, index, self.outbox, self.registry)
+                if entry["kind"] == "flit":
+                    self._egress_flit_cuts.append((entry, channel))
+            if entry["sink_shard"] == shard_id:
+                self._ingress[index] = channel
+
+        for app in self.simulation.workload.applications:
+            app.done = _muted_done
+
+        self.suite = None
+        self._det = None
+        if sanitize:
+            from repro import factory
+            from repro.sanitize import base as sanitize_base
+            from repro.sanitize.det_san import DetSan
+
+            sanitizers = []
+            for name in sanitize_base._parse_spec(sanitize):
+                if name == "det":
+                    # Retain buckets so per-shard digests can be merged.
+                    sanitizer = DetSan(retain_buckets=True)
+                    self._det = sanitizer
+                else:
+                    sanitizer = factory.create(
+                        sanitize_base.Sanitizer, name
+                    )
+                sanitizers.append(sanitizer)
+            self.suite = sanitize_base.SanitizerSuite(sanitizers).attach(
+                self.simulation
+            )
+
+        self._delivered: List[Tuple[int, int, int, bool]] = []
+        for interface in self.local_interfaces:
+            interface.message_delivered_listeners.append(self._on_delivered)
+        self._ingress_counts: Dict[int, int] = {}
+        self.windows_run = 0
+
+    # -- delivery capture --------------------------------------------------
+
+    def _on_delivered(self, message) -> None:
+        self.registry.note_local_delivery(message)
+        self._delivered.append((
+            message.id,
+            message.application_id,
+            message.delivered_tick,
+            message.sampled,
+        ))
+
+    # -- protocol ----------------------------------------------------------
+
+    def hello(self) -> dict:
+        network = self.simulation.network
+        return {
+            "num_terminals": network.num_terminals,
+            "channel_period": network.channel_period,
+            "local_interfaces": len(self.local_interfaces),
+        }
+
+    def run_window(
+        self,
+        end: int,
+        records: List[Record],
+        delivered_ids: List[int],
+        kill_tick: Optional[int],
+    ) -> dict:
+        if self._crash_mode is not None and self.windows_run >= 1:
+            if self._crash_mode == "exit":
+                import os
+
+                os._exit(13)
+            raise RuntimeError(
+                f"injected crash in shard {self.shard_id} worker"
+            )
+        self.registry.release_delivered(delivered_ids)
+        if kill_tick is not None:
+            self._apply_kill(kill_tick)
+        inject = self.simulator.inject
+        counts = self._ingress_counts
+        for record in records:
+            index = record[1]
+            channel = self._ingress.get(index)
+            if channel is None:
+                raise PartitionRuntimeError(
+                    f"shard {self.shard_id}: received a record for cut "
+                    f"{index}, whose sink is not in this shard"
+                )
+            counts[index] = counts.get(index, 0) + 1
+            if record[0] == FLIT_RECORD:
+                item = self.registry.materialize_flit(record)
+            else:
+                item = Credit.of(record[3])
+            inject(record[2], _land, data=(channel, item), epsilon=EPS_DELIVER)
+        executed = self.simulator.run_until(end)
+        self.windows_run += 1
+
+        out = list(self.outbox)
+        self.outbox.clear()
+        delivered = self._delivered
+        self._delivered = []
+        workload = self.simulation.workload
+        response = {
+            "records": out,
+            "delivered": delivered,
+            "pending": self.simulator.pending_events,
+            "executed": executed,
+            "tick": self.simulator.tick,
+            "start_tick": workload.start_tick,
+            "stop_tick": workload.stop_tick,
+        }
+        if workload.stop_tick is not None:
+            response["targets"] = self._targets()
+        return response
+
+    def _targets(self) -> Dict[int, Tuple[str, int]]:
+        """Per-application delivery targets, fixed once Stop has passed.
+
+        Creation counters are global (every worker replays every
+        terminal), so all workers report identical targets -- the
+        coordinator asserts it.
+        """
+        targets = {}
+        for app in self.simulation.workload.applications:
+            if isinstance(app, BlastApplication):
+                targets[app.application_id] = ("sampled", app.sampled_created)
+            else:
+                targets[app.application_id] = ("all", app.messages_created)
+        return targets
+
+    def _apply_kill(self, kill_tick: int) -> None:
+        """Replay the Workload's Kill broadcast between windows.
+
+        Equivalent to the single-process ``_all_done``: the kill event
+        there runs at ``(kill_tick, eps >= EPS_CONTROL)``, after the
+        tick's generate events (``EPS_GENERATE``), and only cancels
+        pending generates at strictly later ticks (injection gaps are
+        >= 1 tick) -- exactly the set cancelled here after the window
+        executed through ``kill_tick``.
+        """
+        workload = self.simulation.workload
+        if workload.phase is Phase.DRAINING:
+            return
+        if workload.phase is not Phase.FINISHING:
+            raise PartitionRuntimeError(
+                f"shard {self.shard_id}: kill at tick {kill_tick} but the "
+                f"workload is still {workload.phase.value}; the coordinator "
+                f"and the static stop schedule disagree"
+            )
+        workload.phase = Phase.DRAINING
+        workload.kill_tick = kill_tick
+        for app in workload.applications:
+            workload._done[app.application_id] = True
+            if isinstance(app, BlastApplication):
+                app._finishing = False
+            elif isinstance(app, PulseApplication):
+                app._done_sent = True
+            app.on_kill()
+
+    def finish(self, delivered_ids: List[int], strict: bool = True) -> dict:
+        """Final quiescence checks and the shard's merged report.
+
+        ``strict=False`` (a run truncated by ``max_time``, mirroring a
+        single-process run that hit its safety limit) skips the
+        drained-network invariants -- traffic is legitimately still in
+        flight.
+        """
+        self.registry.release_delivered(delivered_ids)
+        errors = []
+        if strict and self.outbox:
+            errors.append(f"{len(self.outbox)} unrouted egress records")
+        pending = self.simulator.pending_events
+        if strict and pending:
+            errors.append(f"{pending} events still pending at finish")
+        if strict and self.registry.outstanding:
+            errors.append(
+                f"{self.registry.outstanding} cross-shard messages never "
+                f"reported delivered (leak)"
+            )
+        # Quiescent-drain credit check for egress cuts: CreditSan skips
+        # proxied links, so verify here that every credit the upstream
+        # device spent on a cut channel came home.
+        if strict:
+            for entry, channel in self._egress_flit_cuts:
+                device = self.simulator.find_component(entry["source"])
+                port = device._flit_out.index(channel)
+                tracker = device._output_credits[port]
+                for vc in range(tracker.num_vcs):
+                    occupancy = tracker.occupancy(vc)
+                    if occupancy:
+                        errors.append(
+                            f"cut {entry['name']}: {occupancy} credits for "
+                            f"VC {vc} still outstanding at quiescence"
+                        )
+        reports = {}
+        if self.suite is not None:
+            self.suite.finish()
+            reports = self.suite.report()
+        if strict and self._check_slab \
+                and FLIT_SLAB.live != self._slab_baseline:
+            errors.append(
+                f"flit slab leak: {FLIT_SLAB.live - self._slab_baseline} "
+                f"live handles above the pre-build baseline"
+            )
+        if errors:
+            raise PartitionRuntimeError(
+                f"shard {self.shard_id} failed finish checks:\n  - "
+                + "\n  - ".join(errors)
+            )
+        workload = self.simulation.workload
+        counters = {}
+        for app in workload.applications:
+            counters[app.application_id] = {
+                "messages_created": app.messages_created,
+                "messages_delivered": app.messages_delivered,
+                "sampled_created": app.sampled_created,
+                "sampled_delivered": app.sampled_delivered,
+                "flits_created": app.flits_created,
+                "sampled_flits_created": app.sampled_flits_created,
+            }
+        report = {
+            "shard": self.shard_id,
+            "records": [r.to_dict() for r in self.simulation.message_log.records],
+            "counters": counters,
+            "events_executed": self.simulator.executed_events,
+            "end_tick": self.simulator.tick,
+            "windows": self.windows_run,
+            "ingress_counts": self._ingress_counts,
+            "drained": workload.drained,
+            "start_tick": workload.start_tick,
+            "stop_tick": workload.stop_tick,
+            "kill_tick": workload.kill_tick,
+            "sanitizers": reports,
+        }
+        if self._det is not None:
+            report["delivery_buckets"] = list(self._det.delivery_buckets)
+        return report
+
+
+# -- in-process executor -----------------------------------------------------
+
+
+class _IdScope:
+    """Virtualizes the global message/packet id counters per worker.
+
+    In-process workers share one interpreter, but each must observe the
+    id sequences a fresh process would: starting at zero and advancing
+    only with its own (identical) replay.  Entering the scope installs
+    the worker's private counters; leaving records their position and
+    restores whatever was installed before, so the surrounding session
+    (and the other workers) are unaffected.
+    """
+
+    def __init__(self) -> None:
+        self._message_next = 0
+        self._packet_next = 0
+        self._saved_message = None
+        self._saved_packet = None
+
+    def __enter__(self) -> "_IdScope":
+        self._saved_message = _message_mod._global_message_ids
+        self._saved_packet = _packet_mod._global_packet_ids
+        _message_mod._global_message_ids = itertools.count(self._message_next)
+        _packet_mod._global_packet_ids = itertools.count(self._packet_next)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._message_next = next(_message_mod._global_message_ids)
+        self._packet_next = next(_packet_mod._global_packet_ids)
+        _message_mod._global_message_ids = self._saved_message
+        _packet_mod._global_packet_ids = self._saved_packet
+
+
+class _InProcessHandle:
+    """Hosts one ShardWorker in the coordinating process."""
+
+    mode = "in-process"
+
+    def __init__(self, config, manifest, shard_id, sanitize, crash):
+        self.shard_id = shard_id
+        self._scope = _IdScope()
+        with self._scope:
+            self.worker = ShardWorker(
+                config,
+                manifest,
+                shard_id,
+                sanitize=sanitize,
+                crash_mode="raise" if crash else None,
+                check_slab=False,  # slab is shared; coordinator checks it
+            )
+        self.hello = self.worker.hello()
+
+    def window(self, end, records, delivered_ids, kill_tick):
+        try:
+            with self._scope:
+                return self.worker.run_window(
+                    end, records, delivered_ids, kill_tick
+                )
+        except PartitionRuntimeError:
+            raise
+        except Exception as exc:
+            raise PartitionRuntimeError(
+                f"shard {self.shard_id} worker failed: {exc}"
+            ) from exc
+
+    def finish(self, delivered_ids, strict=True):
+        with self._scope:
+            return self.worker.finish(delivered_ids, strict)
+
+    @property
+    def suite(self):
+        return self.worker.suite
+
+    def close(self) -> None:
+        pass
+
+
+# -- process executor --------------------------------------------------------
+
+
+def _worker_main(conn, payload) -> None:
+    """Spawned-process entry: build one ShardWorker, serve commands."""
+    try:
+        worker = ShardWorker(
+            payload["config"],
+            payload["manifest"],
+            payload["shard"],
+            sanitize=payload["sanitize"],
+            crash_mode="exit" if payload["crash"] else None,
+            check_slab=True,
+        )
+        conn.send(("ok", worker.hello()))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        return
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            return
+        try:
+            op = command[0]
+            if op == "window":
+                _, end, records, delivered_ids, kill_tick = command
+                reply = worker.run_window(end, records, delivered_ids, kill_tick)
+            elif op == "finish":
+                reply = worker.finish(command[1], command[2])
+            elif op == "close":
+                return
+            else:
+                raise PartitionRuntimeError(f"unknown command {op!r}")
+            conn.send(("ok", reply))
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+
+
+class _ProcessHandle:
+    """One spawned worker process plus its command pipe.
+
+    Every receive waits on the pipe *and* the process sentinel, so a
+    worker that dies without a reply (crash, ``os._exit``) produces an
+    immediate :class:`PartitionRuntimeError` naming the shard instead
+    of a hang.
+    """
+
+    mode = "spawn"
+    suite = None  # sanitizers live (and detach) inside the process
+
+    def __init__(self, ctx, config, manifest, shard_id, sanitize, crash):
+        self.shard_id = shard_id
+        self._conn, child_conn = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                {
+                    "config": config,
+                    "manifest": manifest,
+                    "shard": shard_id,
+                    "sanitize": sanitize,
+                    "crash": crash,
+                },
+            ),
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        self.hello = self._receive()
+
+    def _receive(self):
+        ready = _mp_connection.wait([self._conn, self._proc.sentinel])
+        if self._conn in ready:
+            try:
+                status, value = self._conn.recv()
+            except EOFError:
+                self._died()
+            if status == "error":
+                raise PartitionRuntimeError(
+                    f"shard {self.shard_id} worker failed:\n{value}"
+                )
+            return value
+        self._died()
+
+    def _died(self):
+        self._proc.join(timeout=5)
+        raise PartitionRuntimeError(
+            f"shard {self.shard_id} worker process died (exit code "
+            f"{self._proc.exitcode}) without reporting an error"
+        )
+
+    def window(self, end, records, delivered_ids, kill_tick):
+        self._conn.send(("window", end, records, delivered_ids, kill_tick))
+        return self._receive()
+
+    def finish(self, delivered_ids, strict=True):
+        self._conn.send(("finish", delivered_ids, strict))
+        return self._receive()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("close",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._conn.close()
+
+
+# -- coordinator -------------------------------------------------------------
+
+
+def run_sharded(
+    config: dict,
+    k: Optional[int] = None,
+    *,
+    shard_workers: int = 0,
+    manifest: Optional[dict] = None,
+    sanitize: str = "",
+    _crash_shard: Optional[int] = None,
+) -> "ShardedResults":
+    """Run ``config`` sharded ``k`` ways; returns merged results.
+
+    ``shard_workers=0`` executes all shards in this process (windows
+    round-robin); ``shard_workers=k`` spawns one process per shard.
+    ``manifest`` skips re-planning when the caller already has one.
+    ``_crash_shard`` is test-only fault injection.
+    """
+    validate_sharded_scope(config, sanitize)
+    if manifest is None:
+        if k is None:
+            raise PartitionRuntimeError("run_sharded needs k or a manifest")
+        from repro.partition import plan_partition
+
+        manifest = plan_partition(Settings(config), k)
+    k = manifest["k"]
+    if shard_workers not in (0, k):
+        raise PartitionRuntimeError(
+            f"shard_workers must be 0 (in-process) or k={k}, "
+            f"got {shard_workers}"
+        )
+    lookahead = manifest["lookahead"]["global"]
+    if lookahead < 1:
+        raise PartitionRuntimeError(
+            f"manifest lookahead {lookahead} < 1; cannot window"
+        )
+    cut_sinks = [entry["sink_shard"] for entry in manifest["cut_channels"]]
+    t_start, t_stop = _static_stop_schedule(config)
+    max_time = config.get("simulator", {}).get("max_time")
+    app_kinds = [
+        app["type"] for app in config["workload"]["applications"]
+    ]
+    slab_baseline = FLIT_SLAB.live
+
+    handles: List[Any] = []
+    reports = None
+    try:
+        if shard_workers:
+            ctx = _mp_get_context("spawn")
+            for shard_id in range(k):
+                handles.append(_ProcessHandle(
+                    ctx, config, manifest, shard_id, sanitize,
+                    shard_id == _crash_shard,
+                ))
+        else:
+            for shard_id in range(k):
+                handles.append(_InProcessHandle(
+                    config, manifest, shard_id, sanitize,
+                    shard_id == _crash_shard,
+                ))
+        num_terminals = handles[0].hello["num_terminals"]
+        channel_period = handles[0].hello["channel_period"]
+        for handle in handles:
+            if handle.hello["num_terminals"] != num_terminals:
+                raise PartitionRuntimeError(
+                    f"shard {handle.shard_id} built a different network "
+                    f"({handle.hello['num_terminals']} terminals, expected "
+                    f"{num_terminals})"
+                )
+
+        inboxes: List[List[Record]] = [[] for _ in range(k)]
+        delivered_broadcast: List[int] = []
+        # Per-application relevant-delivery ticks (blast counts sampled
+        # messages, pulse counts all -- mirroring each app's Done test).
+        app_ticks: Dict[int, List[int]] = {
+            app_id: [] for app_id in range(len(app_kinds))
+        }
+        targets: Optional[Dict[int, Tuple[str, int]]] = None
+        kill_tick: Optional[int] = None
+        kill_sent = False
+        truncated = False
+        executed_bound = 0  # ticks < executed_bound fully executed
+        windows = 0
+        records_exchanged = 0
+        drain_rounds = 0
+        produced_counts: Dict[int, int] = {}
+
+        while True:
+            kill_arg = None
+            if kill_sent:
+                end = executed_bound + lookahead
+                drain_rounds += 1
+                if drain_rounds > MAX_DRAIN_ROUNDS:
+                    raise PartitionRuntimeError(
+                        f"network failed to drain within {MAX_DRAIN_ROUNDS} "
+                        f"post-kill windows; records or events are stuck"
+                    )
+            elif targets is None:
+                if max_time is not None and executed_bound > max_time:
+                    truncated = True
+                    break
+                end = min(executed_bound + lookahead, t_stop + 1)
+                if end <= executed_bound:
+                    raise PartitionRuntimeError(
+                        "stop tick passed without workers reporting "
+                        "targets; static schedule mismatch"
+                    )
+            else:
+                remaining = 0
+                for app_id, (_, target) in targets.items():
+                    remaining += max(0, target - len(app_ticks[app_id]))
+                if remaining == 0:
+                    kill_tick = t_stop
+                    for app_id, (_, target) in targets.items():
+                        if target > 0:
+                            ticks = sorted(app_ticks[app_id])
+                            kill_tick = max(kill_tick, ticks[target - 1])
+                    if kill_tick != executed_bound - 1:
+                        raise PartitionRuntimeError(
+                            f"kill-tick invariant violated: executed through "
+                            f"{executed_bound - 1} but the merged deliveries "
+                            f"put the kill at {kill_tick}; windowing math or "
+                            f"delivery merging is wrong"
+                        )
+                    kill_arg = kill_tick
+                    kill_sent = True
+                    end = executed_bound + lookahead
+                else:
+                    if max_time is not None and executed_bound > max_time:
+                        truncated = True
+                        break
+                    window = min(
+                        lookahead,
+                        max(1, -(-remaining // num_terminals)),
+                    )
+                    end = executed_bound + window
+
+            responses = []
+            for shard_id, handle in enumerate(handles):
+                responses.append(handle.window(
+                    end, inboxes[shard_id], delivered_broadcast, kill_arg
+                ))
+            windows += 1
+            executed_bound = end
+            inboxes = [[] for _ in range(k)]
+            delivered_broadcast = []
+            produced = 0
+            for response in responses:
+                for record in response["records"]:
+                    index = record[1]
+                    produced_counts[index] = produced_counts.get(index, 0) + 1
+                    inboxes[cut_sinks[index]].append(record)
+                    produced += 1
+                for msg_id, app_id, tick, sampled in response["delivered"]:
+                    delivered_broadcast.append(msg_id)
+                    if app_kinds[app_id] != "blast" or sampled:
+                        app_ticks[app_id].append(tick)
+                if response["start_tick"] is not None \
+                        and response["start_tick"] != t_start:
+                    raise PartitionRuntimeError(
+                        f"worker reported start tick "
+                        f"{response['start_tick']}, static schedule says "
+                        f"{t_start}"
+                    )
+                if response["stop_tick"] is not None \
+                        and response["stop_tick"] != t_stop:
+                    raise PartitionRuntimeError(
+                        f"worker reported stop tick {response['stop_tick']}, "
+                        f"static schedule says {t_stop}"
+                    )
+                reported = response.get("targets")
+                if reported is not None:
+                    if targets is None:
+                        targets = reported
+                    elif targets != reported:
+                        raise PartitionRuntimeError(
+                            f"shards disagree on delivery targets: "
+                            f"{targets} vs {reported}"
+                        )
+            records_exchanged += produced
+            if kill_sent and produced == 0 \
+                    and all(r["pending"] == 0 for r in responses):
+                break
+
+        reports = [
+            handle.finish(delivered_broadcast, not truncated)
+            for handle in handles
+        ]
+
+        # Cross-cut conservation: every record routed must have been
+        # injected exactly once at its sink shard.
+        injected_counts: Dict[int, int] = {}
+        for report in reports:
+            for index, count in report["ingress_counts"].items():
+                index = int(index)
+                injected_counts[index] = injected_counts.get(index, 0) + count
+        # On truncation the final round's records were produced but
+        # never routed, so the books legitimately differ.
+        if not truncated and injected_counts != produced_counts:
+            raise PartitionRuntimeError(
+                f"cut-record conservation violated: produced "
+                f"{produced_counts}, injected {injected_counts}"
+            )
+        if not shard_workers and not truncated \
+                and FLIT_SLAB.live != slab_baseline:
+            raise PartitionRuntimeError(
+                f"flit slab leak across shards: "
+                f"{FLIT_SLAB.live - slab_baseline} live handles above the "
+                f"pre-run baseline"
+            )
+        return ShardedResults(
+            manifest=manifest,
+            mode="spawn" if shard_workers else "in-process",
+            reports=reports,
+            windows=windows,
+            records_exchanged=records_exchanged,
+            lookahead=lookahead,
+            num_terminals=num_terminals,
+            channel_period=channel_period,
+            start_tick=t_start,
+            stop_tick=t_stop,
+            kill_tick=kill_tick,
+            truncated=truncated,
+        )
+    finally:
+        # In-process sanitizer suites stack method patches on shared
+        # classes; detach strictly in reverse attach order.
+        for handle in reversed(handles):
+            if handle.suite is not None:
+                handle.suite.detach()
+        for handle in handles:
+            handle.close()
+
+
+# -- merged results ----------------------------------------------------------
+
+
+class ShardedResults:
+    """Merged statistics of a sharded run (mirrors SimulationResults)."""
+
+    def __init__(
+        self,
+        manifest: dict,
+        mode: str,
+        reports: List[dict],
+        windows: int,
+        records_exchanged: int,
+        lookahead: int,
+        num_terminals: int,
+        channel_period: int,
+        start_tick: int,
+        stop_tick: int,
+        kill_tick: Optional[int],
+        truncated: bool,
+    ):
+        self.manifest = manifest
+        self.mode = mode
+        self.reports = reports
+        self.windows = windows
+        self.records_exchanged = records_exchanged
+        self.lookahead = lookahead
+        self.num_terminals = num_terminals
+        self.channel_period = channel_period
+        self.start_tick = start_tick
+        self.stop_tick = stop_tick
+        self.kill_tick = kill_tick
+        self.truncated = truncated
+        merged = []
+        for report in reports:
+            merged.extend(
+                MessageRecord.from_dict(item) for item in report["records"]
+            )
+        merged.sort(key=lambda r: (r.delivered_tick, r.message_id))
+        self.records = merged
+
+    @property
+    def drained(self) -> bool:
+        return all(report["drained"] for report in self.reports)
+
+    @property
+    def end_tick(self) -> int:
+        return max(report["end_tick"] for report in self.reports)
+
+    @property
+    def events_executed(self) -> int:
+        """Sum of per-shard executed events.
+
+        Includes the phantom-terminal replay every worker runs, so this
+        exceeds the single-process count by roughly (k-1) x the
+        generate-event population; compare per-shard rates, not totals.
+        """
+        return sum(report["events_executed"] for report in self.reports)
+
+    @property
+    def delivery_digest(self) -> Optional[str]:
+        """Merged DetSan delivery digest (needs ``sanitize="det"``)."""
+        if any("delivery_buckets" not in r for r in self.reports):
+            return None
+        from repro.sanitize.det_san import merge_delivery_digests
+
+        return merge_delivery_digests(
+            [report["delivery_buckets"] for report in self.reports]
+        )
+
+    # -- merged statistics -------------------------------------------------
+
+    def sampled_records(self) -> List[MessageRecord]:
+        return [record for record in self.records if record.sampled]
+
+    def latency(self, kind: str = "message") -> LatencyDistribution:
+        return LatencyDistribution.from_records(self.sampled_records(), kind)
+
+    def _window(self) -> int:
+        return self.stop_tick - self.start_tick
+
+    def offered_load(self) -> float:
+        window = self._window()
+        if not window:
+            return float("nan")
+        # Creation counters are global in every worker; read shard 0.
+        flits = sum(
+            counters["sampled_flits_created"]
+            for counters in self.reports[0]["counters"].values()
+        )
+        cycles = window / self.channel_period
+        return flits / (self.num_terminals * cycles)
+
+    def accepted_load(self) -> float:
+        window = self._window()
+        if not window:
+            return float("nan")
+        flits = sum(
+            record.num_flits
+            for record in self.records
+            if self.start_tick <= record.delivered_tick < self.stop_tick
+        )
+        cycles = window / self.channel_period
+        return flits / (self.num_terminals * cycles)
+
+    def delivered_fraction(self) -> float:
+        created = sum(
+            counters["sampled_created"]
+            for counters in self.reports[0]["counters"].values()
+        )
+        # Delivery counters are local per shard; sum them.
+        delivered = sum(
+            counters["sampled_delivered"]
+            for report in self.reports
+            for counters in report["counters"].values()
+        )
+        return delivered / created if created else float("nan")
+
+    def summary(self) -> Dict[str, object]:
+        latency = self.latency()
+        return {
+            "drained": self.drained,
+            "end_tick": self.end_tick,
+            "window": [self.start_tick, self.stop_tick],
+            "offered_load": self.offered_load(),
+            "accepted_load": self.accepted_load(),
+            "delivered_fraction": self.delivered_fraction(),
+            "latency": latency.summary() if not latency.empty else None,
+            "events_executed": self.events_executed,
+            "partition": {
+                "k": self.manifest["k"],
+                "mode": self.mode,
+                "workers": len(self.reports),
+                "windows": self.windows,
+                "lookahead": self.lookahead,
+                "records_exchanged": self.records_exchanged,
+                "kill_tick": self.kill_tick,
+                "shards": [
+                    {
+                        "shard": report["shard"],
+                        "events_executed": report["events_executed"],
+                        "messages_delivered": len(report["records"]),
+                    }
+                    for report in self.reports
+                ],
+            },
+        }

@@ -45,6 +45,46 @@ from repro.sanitize.base import MethodPatch, Sanitizer
 #: (packed time key, chained digest after this event)
 TraceEntry = Tuple[int, int]
 
+#: one flushed delivery bucket: (packed key, count, xor, sum)
+DeliveryBucket = Tuple[int, int, int, int]
+
+
+def merge_delivery_digests(
+    bucket_streams: List[List[DeliveryBucket]],
+) -> str:
+    """Fold several runs' retained delivery buckets into one digest.
+
+    The delivery digest is commutative *within* a time key and chained
+    *across* keys in increasing order, so per-shard digests of a
+    partitioned run merge exactly: buckets sharing a key combine by
+    summing counts/sums and XOR-ing the xors, then the merged buckets
+    chain in sorted key order.  The result equals the single-process
+    ``delivery_digest`` iff every shard delivered the same items at the
+    same times as the unpartitioned simulation -- the equality the PDES
+    runtime's golden tests pin down.
+
+    Requires each sanitizer to have retained its buckets
+    (``DetSan(retain_buckets=True)`` or the ``retain_buckets``
+    attribute set before any delivery).
+    """
+    merged: dict = {}
+    for stream in bucket_streams:
+        for key, count, xor, total in stream:
+            entry = merged.get(key)
+            if entry is None:
+                merged[key] = [count, xor, total]
+            else:
+                entry[0] += count
+                entry[1] ^= xor
+                entry[2] += total
+    digest = 0
+    for key in sorted(merged):
+        count, xor, total = merged[key]
+        digest = zlib.crc32(
+            f"{key}|{count}|{xor:08x}|{total:x}".encode(), digest
+        )
+    return f"{digest:08x}"
+
 
 def first_divergence(
     trace_a: List[TraceEntry], trace_b: List[TraceEntry]
@@ -76,7 +116,11 @@ class DetSan(Sanitizer):
     #: covering every event after the trace fills.
     DEFAULT_MAX_TRACE = 1_000_000
 
-    def __init__(self, max_trace: int = DEFAULT_MAX_TRACE) -> None:
+    def __init__(
+        self,
+        max_trace: int = DEFAULT_MAX_TRACE,
+        retain_buckets: bool = False,
+    ) -> None:
         super().__init__()
         self.max_trace = max_trace
         self.digest = 0
@@ -91,6 +135,11 @@ class DetSan(Sanitizer):
         self._bucket_count = 0
         self._bucket_xor = 0
         self._bucket_sum = 0
+        # When retaining, every flushed bucket is also kept raw so the
+        # digests of several runs (the shards of a partitioned
+        # simulation) can be merged by merge_delivery_digests().
+        self.retain_buckets = retain_buckets
+        self.delivery_buckets: List[DeliveryBucket] = []
 
     def _install(self, simulation) -> None:
         from repro.core.simulator import EPSILON_BITS
@@ -147,6 +196,13 @@ class DetSan(Sanitizer):
             f"{self._bucket_xor:08x}|{self._bucket_sum:x}".encode(),
             self.delivery_digest,
         )
+        if self.retain_buckets:
+            self.delivery_buckets.append((
+                self._bucket_key,
+                self._bucket_count,
+                self._bucket_xor,
+                self._bucket_sum,
+            ))
         self._bucket_key = -1
         self._bucket_count = 0
         self._bucket_xor = 0

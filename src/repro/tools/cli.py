@@ -6,9 +6,11 @@ command line tools; these are the CLI faces:
 ``ssparse``::
 
     ssparse messages.jsonl +app=0 +send=500-1000 --csv out.csv
+    ssparse shard0.jsonl shard1.jsonl +app=0
 
 prints the latency/hop summary of the filtered records and optionally
-exports raw samples.
+exports raw samples.  Several logs (e.g. one per PDES shard) are merged
+into a single delivery-ordered stream before filtering.
 
 ``ssplot``::
 
@@ -39,16 +41,22 @@ import sys
 from typing import List, Optional
 
 from repro.tools import ssplot
-from repro.tools.ssparse import parse_file
+from repro.tools.ssparse import parse_file, parse_records
 
 
 def ssparse_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="ssparse",
-        description="Parse a simulation message log and report "
-        "latency/hop statistics",
+        description="Parse one or more simulation message logs and "
+        "report latency/hop statistics",
     )
-    parser.add_argument("log", help="JSONL message log from a simulation")
+    parser.add_argument(
+        "logs",
+        nargs="+",
+        metavar="log",
+        help="JSONL message log(s); several (e.g. one per shard) are "
+        "merged in delivery order",
+    )
     parser.add_argument(
         "filters",
         nargs="*",
@@ -57,7 +65,29 @@ def ssparse_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--csv", help="also export raw samples as CSV")
     args = parser.parse_args(argv)
 
-    result = parse_file(args.log, args.filters)
+    # argparse cannot split "log... filter..." itself: anything after
+    # the first positional that starts with +/- (or fails to open) is a
+    # filter, the rest are log paths.
+    logs: List[str] = []
+    filters: List[str] = list(args.filters)
+    for item in args.logs:
+        if filters or item[:1] in "+-" or not os.path.exists(item):
+            filters.append(item)
+        else:
+            logs.append(item)
+    if not logs:
+        parser.error(f"no readable log among {args.logs!r}")
+
+    if len(logs) == 1:
+        result = parse_file(logs[0], filters)
+    else:
+        from repro.stats.records import read_jsonl
+
+        merged = []
+        for path in logs:
+            merged.extend(read_jsonl(path))
+        merged.sort(key=lambda r: (r.delivered_tick, r.message_id))
+        result = parse_records(merged, filters)
     json.dump(result.summary(), sys.stdout, indent=2)
     sys.stdout.write("\n")
     if args.csv:
@@ -200,8 +230,8 @@ def sssweep_main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.partition is not None:
         # Partition gate: a sweep whose base config cannot be soundly
-        # sharded should fail here, with rule ids, not after the future
-        # PDES runtime has fanned out k worker processes per point.
+        # sharded should fail here, with rule ids, not after the PDES
+        # runtime has fanned out k worker processes per point.
         from repro.config.settings import Settings, SettingsError
         from repro.lint import lint_partition
 

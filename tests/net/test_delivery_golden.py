@@ -14,14 +14,12 @@ the two router architectures exercise disjoint send paths.
 
 from __future__ import annotations
 
-import itertools
-
 import pytest
 
 from repro import Settings, Simulation
 from repro.configs import latent_congestion_config
-from repro.net import packet as packet_mod
 from repro.net.channel import set_legacy_delivery
+from repro.net.packet import preserve_packet_ids
 from repro.sanitize import attach_sanitizers
 
 from tests.conftest import small_torus_config
@@ -40,28 +38,26 @@ def _digest_run(config: dict, legacy: bool, max_time: int) -> dict:
     counter is restored around each run -- both paths must see the very
     same id sequence for the comparison to be meaningful.
     """
-    saved = next(packet_mod._global_packet_ids)
-    packet_mod._global_packet_ids = itertools.count(saved)
     previous = set_legacy_delivery(legacy)
     try:
-        simulation = Simulation(Settings.from_dict(config))
-        with attach_sanitizers(simulation, "det") as suite:
-            results = simulation.run(max_time=max_time)
-            suite.finish()
-            det = suite.report()["det"]
-        network = simulation.network
-        return {
-            "delivery_digest": det["delivery_digest"],
-            "deliveries": det["deliveries"],
-            "drained": results.drained,
-            "injected": sum(i.flits_injected for i in network.interfaces),
-            "ejected": sum(i.flits_ejected for i in network.interfaces),
-            "messages": sum(i.messages_delivered for i in network.interfaces),
-            "hops": sum(r.flits_received for r in network.routers),
-        }
+        with preserve_packet_ids():
+            simulation = Simulation(Settings.from_dict(config))
+            with attach_sanitizers(simulation, "det") as suite:
+                results = simulation.run(max_time=max_time)
+                suite.finish()
+                det = suite.report()["det"]
+            network = simulation.network
+            return {
+                "delivery_digest": det["delivery_digest"],
+                "deliveries": det["deliveries"],
+                "drained": results.drained,
+                "injected": sum(i.flits_injected for i in network.interfaces),
+                "ejected": sum(i.flits_ejected for i in network.interfaces),
+                "messages": sum(i.messages_delivered for i in network.interfaces),
+                "hops": sum(r.flits_received for r in network.routers),
+            }
     finally:
         set_legacy_delivery(previous)
-        packet_mod._global_packet_ids = itertools.count(saved)
 
 
 @pytest.mark.parametrize(
