@@ -74,8 +74,10 @@ run_gate "sanitize smoke (builtin configs)" \
     python scripts/sanitize_smoke.py
 
 # 7. Partition gate: every builtin config must plan a 4-way partition
-#    with zero P-errors, lookahead >= 1, byte-identical manifests, and
-#    a structurally valid SARIF export.  See docs/PARTITIONING.md.
+#    with zero unexpected P/S-errors, lookahead >= 1, byte-identical
+#    manifests, and a structurally valid SARIF export; every builtin
+#    model class must keep its expected shard-purity classification
+#    (S-rules, see docs/LINTING.md).  See docs/PARTITIONING.md.
 if [ "${SUPERSIM_SKIP_PARTITION:-0}" != "0" ]; then
     skip_gate "partition gate (builtin configs @ k=4)" \
         "SUPERSIM_SKIP_PARTITION set"

@@ -4,14 +4,19 @@
 For each builtin benchmark config this gate plans a 4-way partition,
 runs the full P-rule layer over the planned manifest, and fails on:
 
-* any error-severity P-finding (an unsound partition),
+* any error-severity P- or S-finding not in EXPECTED_UNSAFE (an
+  unsound partition, or an unexpected shard-unsafe model verdict),
 * a global lookahead below 1 tick (the partition would be useless),
 * a manifest that is not byte-identical when planned twice (the
   determinism contract of docs/PARTITIONING.md),
 * a SARIF export that is structurally invalid,
 * a sharded k=2 run (in-process workers) whose merged delivery digest
   differs from the single-process run of the same config -- the
-  execution-equivalence contract of the PDES runtime.
+  execution-equivalence contract of the PDES runtime,
+* a shard-purity classification of any builtin model class that
+  deviates from EXPECTED_CLASSIFICATIONS (a silent analyzer or model
+  regression either way: a model going unsafe breaks sharding, a
+  hazard going undetected breaks the analyzer).
 
 Run directly (``python scripts/partition_gate.py``) or via
 ``scripts/ci_check.sh``; set SUPERSIM_SKIP_PARTITION=1 to skip either
@@ -24,6 +29,67 @@ import os
 import sys
 
 K = 4
+
+#: Builtin configs that select a shard-unsafe model on purpose, and the
+#: S-rule the gate expects to fire.  credit_accounting routes with
+#: hyperx_ugal, whose hop_count-adaptive VC selection the shard-purity
+#: analyzer rejects; its partition *plan* is still produced and checked.
+EXPECTED_UNSAFE = {
+    "credit_accounting_config": {"S001"},
+}
+
+#: Derived verdict expected for every builtin model class.  Keyed
+#: (kind, registered name); values are shard_rules classifications.
+EXPECTED_CLASSIFICATIONS = {
+    ("application", "blast"): "conditional",
+    ("application", "pulse"): "shard-safe",
+    ("application", "request_reply"): "shard-unsafe",
+    ("routing", "chain"): "shard-safe",
+    ("routing", "clos_adaptive"): "shard-safe",
+    ("routing", "clos_deterministic"): "shard-safe",
+    ("routing", "dragonfly_minimal"): "shard-unsafe",
+    ("routing", "dragonfly_ugal"): "shard-unsafe",
+    ("routing", "dragonfly_valiant"): "shard-unsafe",
+    ("routing", "hyperx_dimension_order"): "shard-safe",
+    ("routing", "hyperx_ugal"): "shard-unsafe",
+    ("routing", "hyperx_valiant"): "shard-unsafe",
+    ("routing", "torus_dimension_order"): "shard-safe",
+    ("routing", "torus_minimal_adaptive"): "shard-safe",
+    ("router", "input_output_queued"): "shard-safe",
+    ("router", "input_queued"): "shard-safe",
+    ("router", "output_queued"): "shard-safe",
+    ("interface", "standard"): "shard-safe",
+}
+
+
+def classification_sweep() -> list:
+    """Classify every registered builtin model; diff vs expectations."""
+    from repro.lint.shard_rules import classify_registered
+
+    problems = []
+    actual = {
+        (kind, name): verdict
+        for kind, verdicts in classify_registered().items()
+        for name, verdict in verdicts.items()
+    }
+    for key, expected in sorted(EXPECTED_CLASSIFICATIONS.items()):
+        verdict = actual.pop(key, None)
+        if verdict is None:
+            problems.append(f"{key[0]} {key[1]!r}: no longer registered")
+        elif verdict.classification != expected:
+            evidence = "; ".join(h.render() for h in verdict.hazards)
+            problems.append(
+                f"{key[0]} {key[1]!r}: expected {expected}, analyzer "
+                f"says {verdict.classification}"
+                + (f" ({evidence})" if evidence else "")
+            )
+    for (kind, name), verdict in sorted(actual.items()):
+        if verdict.classification != "shard-safe":
+            problems.append(
+                f"new {kind} {name!r} classifies {verdict.classification} "
+                f"and is missing from EXPECTED_CLASSIFICATIONS"
+            )
+    return problems
 
 
 def check_sarif(log: dict) -> list:
@@ -124,8 +190,16 @@ def main() -> int:
         )
         reports.append(report)
         problems = []
-        if report.has_errors():
-            problems.extend(f.render() for f in report.errors)
+        expected_rules = EXPECTED_UNSAFE.get(name, set())
+        unexpected = [
+            f for f in report.errors if f.rule_id not in expected_rules
+        ]
+        missing = expected_rules - {f.rule_id for f in report.errors}
+        problems.extend(f.render() for f in unexpected)
+        problems.extend(
+            f"expected an error-severity {rule} finding, got none"
+            for rule in sorted(missing)
+        )
         if manifest is None:
             problems.append("no manifest produced")
         else:
@@ -144,10 +218,25 @@ def main() -> int:
                 print(f"  {problem}")
         else:
             cut = len(manifest["cut_channels"])
+            note = (
+                f", expected {'/'.join(sorted(expected_rules))} present"
+                if expected_rules else ""
+            )
             print(
                 f"ok   {name}: k={K}, {cut} cut channel(s), "
-                f"lookahead {manifest['lookahead']['global']}"
+                f"lookahead {manifest['lookahead']['global']}{note}"
             )
+
+    sweep_problems = classification_sweep()
+    if sweep_problems:
+        failures += 1
+        print("FAIL builtin shard-purity classifications:")
+        for problem in sweep_problems:
+            print(f"  {problem}")
+    else:
+        count = len(EXPECTED_CLASSIFICATIONS)
+        print(f"ok   shard-purity: {count} builtin model classes match "
+              f"expected verdicts")
 
     sarif_problems = check_sarif(to_sarif(reports))
     if sarif_problems:

@@ -21,6 +21,15 @@ Three layers of checks, all runnable without simulating a single tick:
   manifest (planned by :mod:`repro.partition` or hand-written) against
   the constructed network, plus AST scans for code that would break
   under partitioned simulation.  See docs/PARTITIONING.md.
+* **shard** (S001..S005) -- interprocedural shard-purity analysis of
+  the registered model classes a configuration selects (or of model
+  classes defined in given source files): per-class call graphs from
+  the framework entry points, classifying each model shard-safe /
+  shard-unsafe / unknown with evidence chains.  Runs inside
+  ``lint_partition`` (so ``sslint --partition``, ``supersim
+  --partition-plan``, and ``sssweep --partition`` all gate on it) and
+  on demand via ``--layer shard``; it is not part of the default
+  source layers.
 
 Entry points: ``sslint`` (CLI), ``supersim --lint`` /
 ``--partition-plan``, and ``sssweep``'s pre-fan-out gate.  See
@@ -39,6 +48,7 @@ from repro.lint.rules import (
     DETERMINISM_LAYER,
     GRAPH_LAYER,
     PARTITION_LAYER,
+    SHARD_LAYER,
     LintContext,
     LintRule,
     all_rule_ids,
@@ -52,9 +62,13 @@ ALL_LAYERS = (
     DETERMINISM_LAYER,
     DATAFLOW_LAYER,
     PARTITION_LAYER,
+    SHARD_LAYER,
 )
 
-#: Layers that run over Python source files (vs. config trees).
+#: Layers that run over Python source files (vs. config trees).  The
+#: shard layer can run over sources too, but only when explicitly
+#: requested (``--layer shard``): it classifies *registered* model
+#: classes, which requires the modules to be imported first.
 SOURCE_LAYERS = (DETERMINISM_LAYER, DATAFLOW_LAYER, PARTITION_LAYER)
 
 __all__ = [
@@ -64,6 +78,7 @@ __all__ = [
     "DETERMINISM_LAYER",
     "GRAPH_LAYER",
     "PARTITION_LAYER",
+    "SHARD_LAYER",
     "SOURCE_LAYERS",
     "Finding",
     "LintContext",
@@ -103,6 +118,8 @@ def lint_settings(
         report.merge(run_rules(ctx, [CONFIG_LAYER], subject=subject))
     if graph and GRAPH_LAYER in wanted and not report.has_errors():
         report.merge(run_rules(ctx, [GRAPH_LAYER], subject=subject))
+    if SHARD_LAYER in wanted and not report.has_errors():
+        report.merge(run_rules(ctx, [SHARD_LAYER], subject=subject))
     return report
 
 
@@ -114,14 +131,20 @@ def lint_partition(
     lookahead_threshold: int = 1,
     max_pairs: int = 512,
     subject: Optional[str] = None,
+    shard: bool = True,
 ) -> Tuple[LintReport, Optional[dict]]:
     """Plan (``k``) or verify (``manifest``) a partition for ``settings``.
 
     Runs the config layer first (a broken config cannot be partitioned),
-    then the graph + partition layers.  Returns ``(report, manifest)``
-    where the manifest is the planned document when planning was
-    requested and succeeded, the caller's document when verifying, and
-    ``None`` when the config/graph layers already failed.
+    then the graph + partition layers, then (unless ``shard=False``)
+    the shard-purity S-rules over the model classes the configuration
+    selects -- a partition of a model the sharded runtime would refuse
+    to execute should fail its preflight here, with evidence chains.
+    Returns ``(report, manifest)`` where the manifest is the planned
+    document when planning was requested and succeeded, the caller's
+    document when verifying, and ``None`` when the config/graph layers
+    already failed.  S-findings never suppress the manifest: they are
+    verdicts about model code, not about the shard assignment.
     """
     ctx = LintContext(
         settings=settings,
@@ -134,9 +157,10 @@ def lint_partition(
     report = run_rules(ctx, [CONFIG_LAYER], subject=subject)
     if report.has_errors():
         return report, None
-    report.merge(
-        run_rules(ctx, [GRAPH_LAYER, PARTITION_LAYER], subject=subject)
-    )
+    layers = [GRAPH_LAYER, PARTITION_LAYER]
+    if shard:
+        layers.append(SHARD_LAYER)
+    report.merge(run_rules(ctx, layers, subject=subject))
     return report, ctx.partition().manifest
 
 
@@ -173,9 +197,13 @@ def lint_sources(
     """Run the source-file AST layers (determinism/dataflow/partition).
 
     ``layers`` restricts the run; non-source layers in it are ignored.
+    The shard layer joins only on explicit request (``--layer shard``)
+    -- it classifies registered model classes defined in the files, so
+    the caller must have imported them (``sslint --import``).
     """
+    source_ok = SOURCE_LAYERS + (SHARD_LAYER,)
     wanted = (
-        [layer for layer in SOURCE_LAYERS if layer in set(layers)]
+        [layer for layer in source_ok if layer in set(layers)]
         if layers is not None
         else list(SOURCE_LAYERS)
     )

@@ -24,6 +24,10 @@ Each rule belongs to one *layer*:
 * ``partition`` -- shard-safety checks of a partition manifest
   (planned or hand-written) against the constructed network, plus AST
   scans for shard-isolation hazards in model code.
+* ``shard`` -- interprocedural shard-purity analysis (S-rules) of the
+  registered model classes a configuration selects: per-class call
+  graphs from the framework entry points, attribute-reach dataflow,
+  and a shard-safe/shard-unsafe/unknown verdict with evidence chains.
 
 A :class:`LintContext` carries the inputs and memoizes the expensive
 shared work (the schema walk, the network construction and channel
@@ -44,12 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.dataflow_rules import DataflowScan
     from repro.lint.graph import GraphAnalysis
     from repro.lint.partition_rules import PartitionAnalysis, PartitionScan
+    from repro.lint.shard_rules import ShardAnalysis
 
 CONFIG_LAYER = "config"
 GRAPH_LAYER = "graph"
 DETERMINISM_LAYER = "determinism"
 DATAFLOW_LAYER = "dataflow"
 PARTITION_LAYER = "partition"
+SHARD_LAYER = "shard"
 
 
 class LintRule:
@@ -97,6 +103,7 @@ class LintContext:
         self._dataflow_scans: Optional[List["DataflowScan"]] = None
         self._partition: Optional["PartitionAnalysis"] = None
         self._partition_scans: Optional[List["PartitionScan"]] = None
+        self._shard: Optional["ShardAnalysis"] = None
 
     # -- memoized analyses ---------------------------------------------------
 
@@ -156,6 +163,14 @@ class LintContext:
             ]
         return self._partition_scans
 
+    def shard(self) -> "ShardAnalysis":
+        """Shard-purity verdicts for the configured model classes."""
+        if self._shard is None:
+            from repro.lint.shard_rules import ShardAnalysis
+
+            self._shard = ShardAnalysis(self)
+        return self._shard
+
 
 def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     """Every registered rule id, optionally restricted to one layer."""
@@ -164,6 +179,7 @@ def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     import repro.lint.dataflow_rules  # noqa: F401
     import repro.lint.graph  # noqa: F401
     import repro.lint.partition_rules  # noqa: F401
+    import repro.lint.shard_rules  # noqa: F401
 
     ids = factory.names(LintRule)
     if layer is None:

@@ -25,6 +25,13 @@ quote quantities derived from the whole constructed network or manifest
 as the planner or topology parameters evolve; a baseline should pin
 "this config has a P003 at partition.lookahead", not the exact numbers
 of one planner version.
+
+Shard-layer (S-rule) findings always fingerprint as
+``rule_id|subject|config_path`` -- even though they carry a source
+location -- because their ``config_path`` holds the evidence chain
+(``Class:entry->...->method``).  That triple is the identity of the
+hazard; messages and line numbers evolve with the analyzer, and a
+baseline must survive that evolution.
 """
 
 from __future__ import annotations
@@ -81,11 +88,14 @@ def fingerprint(finding: Finding, subject: Optional[str] = None) -> str:
     """A stable content hash of a finding, insensitive to line drift.
 
     Location-less graph/partition findings hash without the message so
-    the fingerprint survives planner/topology evolution (see module
-    docstring).
+    the fingerprint survives planner/topology evolution; shard-layer
+    findings hash rule|subject|evidence-chain regardless of location
+    (see module docstring).
     """
+    layer = _rule_layer(finding.rule_id)
     uri, _line = _split_location(finding.location)
-    if uri is None and _rule_layer(finding.rule_id) in _CONTENT_FREE_LAYERS:
+    if layer == "shard" or (
+            uri is None and layer in _CONTENT_FREE_LAYERS):
         material = "|".join([
             finding.rule_id,
             subject or "",

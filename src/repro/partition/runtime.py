@@ -17,16 +17,19 @@ window ``[C0, C)`` has ``due >= C0 + L >= C`` (windows never exceed
 ``L``), so exchanging records only at window barriers can never deliver
 one late.  Termination mirrors the single-process Workload handshake:
 
-* Ready/Start/Complete/Stop are *time-driven* for the supported
-  applications (blast with fixed warmup, pulse), so every worker
-  reaches them at identical ticks and no coordination is needed; the
-  coordinator computes the stop tick statically from the configuration
-  and caps pre-stop windows at it.
+* Ready/Start/Complete/Stop are *time-driven* for every admitted
+  application -- :func:`validate_sharded_scope` derives the admission
+  from shard-purity verdicts (:mod:`repro.lint.shard_rules`) plus each
+  class's :meth:`Application.shard_schedule`, not from a name list --
+  so every worker reaches them at identical ticks and no coordination
+  is needed; the coordinator computes the stop tick statically from
+  the configuration and caps pre-stop windows at it.
 * Done/Kill are *delivery-driven*, so workers' local ``done`` signals
   are muted and the coordinator replays the decision globally: after
-  Stop every application's delivery target (blast: sampled messages
-  created; pulse: all messages created -- identical in every worker,
-  asserted) is compared against the merged delivery stream.  While
+  Stop every application's delivery target (its class's
+  ``shard_delivery_target``: sampled messages created for blast, all
+  messages created otherwise -- identical in every worker, asserted)
+  is compared against the merged delivery stream.  While
   ``R`` relevant deliveries are still missing, windows shrink to
   ``min(L, ceil(R / num_terminals))`` ticks: at most one message can
   complete per interface per tick, so the kill tick is provably at
@@ -84,8 +87,6 @@ from repro.partition.proxy import (
 from repro.sim import Simulation
 from repro.stats.latency import LatencyDistribution
 from repro.stats.records import MessageRecord
-from repro.workload.blast import BlastApplication
-from repro.workload.pulse import PulseApplication
 from repro.workload.workload import Phase
 
 
@@ -105,36 +106,85 @@ def validate_sharded_scope(config: dict, sanitize: str = "") -> None:
 
     The phantom-terminal replay requires every workload control
     transition to be time-driven and every worker to consume the shared
-    RNG streams in the same order; features that react to local-only
-    state (deliveries, monitors) would silently diverge, so they are
-    rejected up front with an explanation instead.
+    RNG streams in the same order.  There is no list of blessed model
+    names here: the scope is *derived*, per registered class, by the
+    shard-purity analyzer (:mod:`repro.lint.shard_rules`).  A model is
+    admitted when the interprocedural S-rules find no hazard applicable
+    to this configuration AND (for applications) the class derives a
+    static Ready/Complete schedule from the config alone
+    (:meth:`Application.shard_schedule`).  Rejections carry the
+    analyzer's evidence chain, so a custom model's author sees exactly
+    which method path reads shard-divergent state.
     """
+    from repro import factory
+    from repro.factory import FactoryError
+    from repro.lint.shard_rules import UNKNOWN, analyze_class
+    from repro.models import load_all
+    from repro.routing.base import RoutingAlgorithm
+    from repro.workload.application import Application
+
+    load_all()
     problems = []
+
+    def vet(cls, kind: str, block: dict, subject: str) -> bool:
+        """Analyzer verdict for one model; True when clean here."""
+        verdict = analyze_class(cls, kind)
+        if verdict.classification == UNKNOWN:
+            problems.append(
+                f"{subject}: source of {cls.__name__} is unavailable, so "
+                f"its shard purity cannot be established statically"
+            )
+            return False
+        hazards = verdict.applicable_hazards(block)
+        problems.extend(f"{subject}: {h.render()}" for h in hazards)
+        return not hazards
+
     workload = config.get("workload", {})
     for index, app in enumerate(workload.get("applications", ())):
         kind = app.get("type")
-        if kind not in ("blast", "pulse"):
+        subject = f"application {index} ({kind})"
+        try:
+            cls = factory.lookup(Application, kind)
+        except FactoryError:
             problems.append(
-                f"application {index} has type {kind!r}; sharded execution "
-                f"supports only time-driven applications (blast, pulse)"
+                f"application {index} has unregistered type {kind!r}; "
+                f"sharded execution needs a registered, statically "
+                f"analyzable time-driven application"
             )
-        elif kind == "blast" and app.get("warmup_mode", "fixed") == "auto":
+            continue
+        clean = vet(cls, "application", app, subject)
+        if clean and cls.shard_schedule(app) is None:
             problems.append(
-                f"application {index}: warmup_mode 'auto' decides Ready "
-                f"from locally observed latencies, which differ per shard; "
-                f"use a fixed warmup_duration"
+                f"{subject}: shard_schedule() derives no static "
+                f"Ready/Complete schedule from this configuration; the "
+                f"sharded runtime needs a time-driven handshake"
             )
-    algorithm = (
-        config.get("network", {}).get("routing", {}).get("algorithm", "")
-    )
-    if algorithm.startswith(("dragonfly", "hyperx")):
-        problems.append(
-            f"routing algorithm {algorithm!r} selects VCs from "
-            f"packet.hop_count, which is bumped as the *tail* leaves a "
-            f"router; a sharded copy of the packet only learns of remote "
-            f"bumps at the next tail crossing, so head-time VC choices "
-            f"could diverge from a single-process run"
+    network = config.get("network", {})
+    algorithm = network.get("routing", {}).get("algorithm", "")
+    try:
+        routing_cls = factory.lookup(RoutingAlgorithm, algorithm)
+    except FactoryError:
+        routing_cls = None  # the settings layer reports unknown names
+    if routing_cls is not None:
+        vet(
+            routing_cls,
+            "routing",
+            network.get("routing", {}),
+            f"routing algorithm {algorithm!r}",
         )
+    from repro.net.interface import Interface
+    from repro.router.base import Router
+
+    for base, lint_kind, block, label in (
+        (Router, "router", network.get("router", {}), "architecture"),
+        (Interface, "interface", network.get("interface", {}), "type"),
+    ):
+        name = block.get(label, "standard" if base is Interface else "")
+        try:
+            cls = factory.lookup(base, name)
+        except FactoryError:
+            continue  # the settings layer reports unknown names
+        vet(cls, lint_kind, block, f"{lint_kind} {name!r}")
     monitor = config.get("simulator", {}).get("monitor", {})
     if monitor.get("period", 0) > 0:
         problems.append(
@@ -161,32 +211,28 @@ def _static_stop_schedule(config: dict) -> Tuple[int, int]:
     """(start_tick, stop_tick) of the workload, computed without running.
 
     Valid exactly for the applications :func:`validate_sharded_scope`
-    admits, whose Ready and Complete signals are pure functions of the
-    configuration (see the class docstrings of blast and pulse); every
-    worker's reported ticks are asserted against this schedule.
+    admits, whose :meth:`Application.shard_schedule` derives Ready and
+    Complete as pure functions of the configuration; every worker's
+    reported ticks are asserted against this schedule.
     """
-    apps = config["workload"]["applications"]
-    ready = []
-    for app in apps:
-        if app["type"] == "blast":
-            ready.append(int(app.get("warmup_duration", 0)))
-        else:
-            ready.append(0)
-    t_start = max(ready)
-    complete = []
-    for app in apps:
-        rate = float(app.get("injection_rate", 0.0))
-        if app["type"] == "blast":
-            complete.append(t_start + int(app.get("generate_duration", 0)))
-        elif rate <= 0.0:
-            complete.append(t_start)
-        else:
-            delay = max(int(app.get("delay", 0)), 1)
-            # A missing duration fails in the worker's settings layer
-            # with a proper message; any placeholder works here.
-            duration = max(int(app.get("duration", 1)), 1)
-            complete.append(t_start + delay + duration)
-    return t_start, max(complete)
+    from repro import factory
+    from repro.models import load_all
+    from repro.workload.application import Application
+
+    load_all()
+    schedules = []
+    for app in config["workload"]["applications"]:
+        cls = factory.lookup(Application, app["type"])
+        schedule = cls.shard_schedule(app)
+        if schedule is None:  # validate_sharded_scope already vetoes this
+            raise PartitionRuntimeError(
+                f"application type {app['type']!r} has no static schedule"
+            )
+        schedules.append(schedule)
+    t_start = max(ready for ready, _offset in schedules)
+    return t_start, max(
+        t_start + offset for _ready, offset in schedules
+    )
 
 
 # -- shard worker ------------------------------------------------------------
@@ -390,7 +436,7 @@ class ShardWorker:
         """
         targets = {}
         for app in self.simulation.workload.applications:
-            if isinstance(app, BlastApplication):
+            if app.shard_delivery_target == "sampled":
                 targets[app.application_id] = ("sampled", app.sampled_created)
             else:
                 targets[app.application_id] = ("all", app.messages_created)
@@ -419,10 +465,7 @@ class ShardWorker:
         workload.kill_tick = kill_tick
         for app in workload.applications:
             workload._done[app.application_id] = True
-            if isinstance(app, BlastApplication):
-                app._finishing = False
-            elif isinstance(app, PulseApplication):
-                app._done_sent = True
+            app.shard_force_done()
             app.on_kill()
 
     def finish(self, delivered_ids: List[int], strict: bool = True) -> dict:
@@ -736,8 +779,14 @@ def run_sharded(
     cut_sinks = [entry["sink_shard"] for entry in manifest["cut_channels"]]
     t_start, t_stop = _static_stop_schedule(config)
     max_time = config.get("simulator", {}).get("max_time")
-    app_kinds = [
-        app["type"] for app in config["workload"]["applications"]
+    from repro import factory as _factory
+    from repro.models import load_all as _load_all
+    from repro.workload.application import Application as _Application
+
+    _load_all()
+    app_target_kinds = [
+        _factory.lookup(_Application, app["type"]).shard_delivery_target
+        for app in config["workload"]["applications"]
     ]
     slab_baseline = FLIT_SLAB.live
 
@@ -769,10 +818,11 @@ def run_sharded(
 
         inboxes: List[List[Record]] = [[] for _ in range(k)]
         delivered_broadcast: List[int] = []
-        # Per-application relevant-delivery ticks (blast counts sampled
-        # messages, pulse counts all -- mirroring each app's Done test).
+        # Per-application relevant-delivery ticks, counting whatever the
+        # class's shard_delivery_target declares (sampled messages for
+        # blast, all for pulse) -- mirroring each app's Done test.
         app_ticks: Dict[int, List[int]] = {
-            app_id: [] for app_id in range(len(app_kinds))
+            app_id: [] for app_id in range(len(app_target_kinds))
         }
         targets: Optional[Dict[int, Tuple[str, int]]] = None
         kill_tick: Optional[int] = None
@@ -852,7 +902,7 @@ def run_sharded(
                     produced += 1
                 for msg_id, app_id, tick, sampled in response["delivered"]:
                     delivered_broadcast.append(msg_id)
-                    if app_kinds[app_id] != "blast" or sampled:
+                    if app_target_kinds[app_id] != "sampled" or sampled:
                         app_ticks[app_id].append(tick)
                 if response["start_tick"] is not None \
                         and response["start_tick"] != t_start:

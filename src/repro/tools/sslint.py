@@ -9,6 +9,8 @@ configurations::
     sslint examples/ --format sarif > lint.sarif
     sslint --builtin all
     sslint experiment.json --import my_models   # user models (§III-D)
+    sslint experiment.json --layer shard        # shard-purity S-rules
+    sslint --import my_models my_models.py --layer shard
     sslint src/ --write-baseline lint-baseline.json
     sslint src/ --baseline lint-baseline.json   # new findings only
     sslint --list-rules
@@ -45,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config.settings import Settings, SettingsError
 from repro.lint import (
     ALL_LAYERS,
+    SHARD_LAYER,
     SOURCE_LAYERS,
     Finding,
     LintReport,
@@ -345,7 +348,8 @@ def sslint_main(argv: Optional[List[str]] = None) -> int:
 
     if source_files and (
         args.layer is None
-        or any(layer in SOURCE_LAYERS for layer in args.layer)
+        or any(layer in SOURCE_LAYERS + (SHARD_LAYER,)
+               for layer in args.layer)
     ):
         reports.append(
             lint_sources(

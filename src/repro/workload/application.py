@@ -113,6 +113,38 @@ class Application(Component):
     def done(self) -> None:
         self.workload.application_done(self)
 
+    # -- sharded-runtime protocol -----------------------------------------------
+
+    #: Which deliveries the sharded coordinator counts toward this
+    #: application's Done quota: ``"all"`` messages or only ``"sampled"``
+    #: ones (see repro.partition.runtime).
+    shard_delivery_target = "all"
+
+    @classmethod
+    def shard_schedule(cls, app_config: dict):
+        """Static (ready_tick, complete_offset) for a config, or None.
+
+        The sharded runtime replaces the Ready/Complete handshake with a
+        statically derived schedule: every worker must raise the phase
+        barriers at the same tick without observing deliveries.  Return
+        ``(ready_tick, complete_offset)`` -- Ready fires at
+        ``ready_tick`` and Complete at ``t_start + complete_offset`` --
+        when this configuration's handshake is time-driven, or ``None``
+        when it depends on runtime feedback (which places the config
+        outside the sharded scope even if the S-rules found no hazard).
+        The base class declines: subclasses opt in explicitly.
+        """
+        return None
+
+    def shard_force_done(self) -> None:
+        """Neutralize local Done detection under the sharded runtime.
+
+        The coordinator replays the globally merged Done/Kill decision;
+        a worker's own delivery-count trigger must not fire afterwards.
+        Subclasses reset whatever latch their ``on_message_delivered``
+        uses.  The base class has no Done detection, so: nothing.
+        """
+
     # -- command hooks from the workload --------------------------------------------
 
     def on_init(self) -> None:

@@ -121,6 +121,22 @@ class BlastApplication(Application):
     def on_kill(self) -> None:
         self.stop_terminals()
 
+    # -- sharded-runtime protocol -----------------------------------------------
+
+    shard_delivery_target = "sampled"
+
+    @classmethod
+    def shard_schedule(cls, app_config: dict):
+        if app_config.get("warmup_mode", "fixed") == "auto":
+            return None  # Ready depends on observed latencies
+        return (
+            int(app_config.get("warmup_duration", 0)),
+            int(app_config.get("generate_duration", 0)),
+        )
+
+    def shard_force_done(self) -> None:
+        self._finishing = False
+
     # -- Done detection -------------------------------------------------------------
 
     def on_message_delivered(self, message: Message) -> None:

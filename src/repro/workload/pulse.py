@@ -74,6 +74,23 @@ class PulseApplication(Application):
     def on_kill(self) -> None:
         self.stop_terminals()
 
+    # -- sharded-runtime protocol -----------------------------------------------
+
+    @classmethod
+    def shard_schedule(cls, app_config: dict):
+        if float(app_config.get("injection_rate", 0.0)) <= 0.0:
+            return (0, 0)  # Ready at init, Complete right at Start
+        # on_start schedules the burst max(delay,1) ticks out; the burst
+        # runs max(duration,1) ticks before _end_burst signals Complete.
+        return (
+            0,
+            max(int(app_config.get("delay", 0)), 1)
+            + max(int(app_config.get("duration", 1)), 1),
+        )
+
+    def shard_force_done(self) -> None:
+        self._done_sent = True
+
     # -- Done detection ---------------------------------------------------------------
 
     def on_message_delivered(self, message: Message) -> None:

@@ -136,12 +136,16 @@ def test_sslint_partition_plans_and_summarizes(tmp_path, capsys):
     assert "lookahead" in out
 
 
-def test_sslint_partition_all_builtins_clean(capsys):
+def test_sslint_partition_all_builtins(capsys):
+    # credit_accounting routes with hyperx_ugal, which the shard-purity
+    # analyzer (rightly) flags S001 -- so "all builtins" now exits 1,
+    # with the other three configs still planning cleanly.
     assert sslint_main(
         ["--builtin", "all", "--partition", "4", "--max-pairs", "64"]
-    ) == 0
+    ) == 1
     out = capsys.readouterr().out
     assert out.count("partition: k=4") == 4
+    assert "S001" in out and "hop_count" in out
 
 
 def test_sslint_manifest_out_is_deterministic(tmp_path, capsys):
@@ -160,10 +164,13 @@ def test_sslint_manifest_out_is_deterministic(tmp_path, capsys):
 
 def test_sslint_manifest_out_directory_for_many(tmp_path, capsys):
     out_dir = tmp_path / "plans"
+    # Exit 1 for credit_accounting's S001 (see above); S-findings are
+    # verdicts about model code, not the shard assignment, so all four
+    # manifests must still be written.
     assert sslint_main(
         ["--builtin", "all", "--partition", "2", "--max-pairs", "64",
          "--manifest-out", str(out_dir)]
-    ) == 0
+    ) == 1
     capsys.readouterr()
     written = sorted(p.name for p in out_dir.iterdir())
     assert len(written) == 4

@@ -116,6 +116,61 @@ def test_sharded_spawn_matches_single_process():
     assert len(results.records) == len(base["records"])
 
 
+def test_custom_registered_app_runs_sharded():
+    """Scope widening: a user application earns sharding by analysis.
+
+    ``steady_burst`` is registered at test time under a name no
+    runtime list has ever heard of; the old supported-names check
+    (``kind not in ("blast", "pulse")``) rejected exactly this.  The
+    verdict-driven scope admits it -- the analyzer proves its handshake
+    time-driven and its delivery path passive -- and the sharded run
+    must then be digest-identical to single-process, like any builtin.
+    """
+    from repro import factory
+    from repro.workload.application import Application
+    from repro.workload.pulse import PulseApplication
+
+    if "steady_burst" not in factory.names(Application):
+        @factory.register(Application, "steady_burst")
+        class SteadyBurstApplication(PulseApplication):
+            """A pulse with a louder name and a fixed extra delay."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.delay += 25
+
+            @classmethod
+            def shard_schedule(cls, app_config):
+                schedule = PulseApplication.shard_schedule(app_config)
+                if schedule is None or float(
+                        app_config.get("injection_rate", 0.0)) <= 0.0:
+                    return schedule
+                ready, complete = schedule
+                return ready, complete + 25
+
+    config = small_torus_config(
+        injection_rate=0.15, warmup_duration=100, generate_duration=300
+    )
+    config["workload"]["applications"].append({
+        "type": "steady_burst",
+        "injection_rate": 0.4,
+        "delay": 125,
+        "duration": 120,
+        "traffic": {"type": "uniform_random"},
+        "message_size": {"type": "constant", "size": 4},
+    })
+    base = _single_process(config, 50_000)
+    assert base["drained"] and base["deliveries"] > 0
+
+    config.setdefault("simulator", {})["max_time"] = 50_000
+    results = run_sharded(config, k=2, sanitize="det")
+    assert results.drained
+    assert results.records_exchanged > 0
+    assert results.delivery_digest == base["digest"]
+    merged = [r.to_dict() for r in results.records]
+    assert merged == base["records"]
+
+
 def test_sharded_summary_shape():
     config = _torus_config()
     results = run_sharded(config, k=2)
