@@ -286,12 +286,16 @@ def main() -> int:
                         help="also run the (slower) sweep scaling benchmark")
     parser.add_argument("--skip-sim", action="store_true",
                         help="skip the full-simulation event-rate benchmarks")
+    parser.add_argument("--sim-only", action="store_true",
+                        help="run only the full-simulation event-rate "
+                        "benchmarks (skip the engine microbenchmarks)")
     parser.add_argument("--partition", action="store_true",
                         help="also benchmark the sharded PDES runtime "
                         "(spawn-mode workers) against the single-process "
                         "run")
     args = parser.parse_args()
-    bench_event_queue(args.rounds)
+    if not args.sim_only:
+        bench_event_queue(args.rounds)
     if not args.skip_sim:
         bench_simulation_rate(args.rounds)
     if args.sweep:

@@ -96,6 +96,18 @@ else
         python scripts/perf_smoke.py
 fi
 
+# 9. Perf-lint gate: the hot-path H-rules (static perf audit, see
+#    docs/LINTING.md) run over src/repro against the committed
+#    fingerprint baseline; only NEW hazards fail.  Refresh the
+#    baseline deliberately with --write-baseline after fixing or
+#    accepting findings.  SUPERSIM_SKIP_PERFLINT=1 opts out.
+if [ "${SUPERSIM_SKIP_PERFLINT:-0}" != "0" ]; then
+    skip_gate "perf lint (H-rules vs baseline)" "SUPERSIM_SKIP_PERFLINT set"
+else
+    run_gate "perf lint (H-rules vs baseline)" \
+        python scripts/perf_lint_gate.py
+fi
+
 echo
 if [ "${FAILURES}" -ne 0 ]; then
     echo "ci_check: ${FAILURES} gate(s) failed"

@@ -15,8 +15,16 @@ any config:
 ``--config`` accepts either a JSON settings file path or the name of a
 builtin config builder from ``repro.configs`` (the ``_config`` suffix is
 optional).  The report prints the top ``--top`` functions by cumulative
-and by internal time; ``--pstats PATH`` additionally dumps the raw
-profile for ``python -m pstats`` / snakeviz-style digging.
+and by internal time, and always dumps the raw profile to
+``--pstats-out`` (default ``profile.pstats``) so the static perf lint
+can correlate with it in one command::
+
+    PYTHONPATH=src python scripts/profile_sim.py
+    PYTHONPATH=src python -m repro.tools.sslint src/repro \\
+        --layer perf --profile profile.pstats
+
+Pass ``--pstats-out ''`` to skip the dump.  ``--pstats PATH`` is the
+older spelling of the same flag.
 """
 
 from __future__ import annotations
@@ -83,12 +91,22 @@ def main() -> int:
         help="rows per profile table (default 25)",
     )
     parser.add_argument(
+        "--pstats-out",
+        default="profile.pstats",
+        metavar="PATH",
+        help="dump the raw pstats profile to PATH (default "
+        "profile.pstats; pass '' to skip) -- feed it to sslint "
+        "--layer perf --profile",
+    )
+    parser.add_argument(
         "--pstats",
         default=None,
         metavar="PATH",
-        help="also dump the raw pstats profile to PATH",
+        help="alias for --pstats-out",
     )
     args = parser.parse_args()
+    if args.pstats:
+        args.pstats_out = args.pstats
 
     config = resolve_config(args.config)
     simulation = Simulation(Settings.from_dict(config))
@@ -107,9 +125,9 @@ def main() -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(args.top)
     stats.sort_stats("tottime").print_stats(args.top)
-    if args.pstats:
-        stats.dump_stats(args.pstats)
-        print(f"pstats dump written to {args.pstats}")
+    if args.pstats_out:
+        stats.dump_stats(args.pstats_out)
+        print(f"pstats dump written to {args.pstats_out}")
     return 0
 
 

@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         "python -m pstats)",
     )
     parser.add_argument(
+        "--pstats-out",
+        metavar="PATH",
+        default=None,
+        help="dump raw pstats data to PATH (implies --profile); feed "
+        "it to sslint --layer perf --profile for the static perf "
+        "audit (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         metavar="SHORT=path=type=v1,v2,...",
@@ -227,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             sys.stdout.write("\n")
         return 0 if results.drained else 1
     simulation = Simulation(settings)
+    if args.pstats_out and not args.profile:
+        args.profile = args.pstats_out
     profiler = None
     if args.profile is not None:
         import cProfile

@@ -572,6 +572,26 @@ class Reach:
         self.conds = conds
 
 
+class Heat:
+    """How hot one method is and the hottest way it is reached.
+
+    ``weight`` is in *events per flit-hop* units: the entry-point
+    weights encode the measured event census (~4 events per flit-hop,
+    docs/PERFORMANCE.md), and heat propagates along call edges without
+    attenuation -- a helper called from a per-event handler runs just
+    as often as the handler.  ``path`` is the evidence chain from the
+    hottest entry point (``_step -> _drain_staging -> ...``).
+    """
+
+    __slots__ = ("weight", "path", "conds")
+
+    def __init__(self, weight: float, path: Tuple[str, ...],
+                 conds: Tuple[Cond, ...]):
+        self.weight = weight
+        self.path = path
+        self.conds = conds
+
+
 def reachable(
     graph: ClassGraph, entries: Sequence[str]
 ) -> Dict[str, Reach]:
@@ -601,3 +621,51 @@ def reachable(
                 best[edge.target] = Reach(path, conds)
                 queue.append(edge.target)
     return best
+
+
+def propagate_heat(
+    graph: ClassGraph, entry_weights: Dict[str, float]
+) -> Dict[str, Heat]:
+    """Per-method heat from weighted entry points.
+
+    Every method reachable from an entry point inherits that entry's
+    weight undiminished (it executes once per entry invocation on the
+    evidence path); a method reachable from several entries gets the
+    *maximum* weight, with ties broken toward the shortest evidence
+    path.  Methods not reachable from any entry (construction helpers,
+    diagnostics) are absent from the result -- provably cold.
+
+    All entries are seeded first (an entry's own heat is its declared
+    weight, never a longer path through another entry), then a
+    worklist relaxes call edges until no method can be made hotter or
+    reached by a strictly better path.
+    """
+    heat: Dict[str, Heat] = {}
+    queue: deque = deque()
+    for entry, weight in sorted(
+        entry_weights.items(), key=lambda item: (-item[1], item[0])
+    ):
+        if entry in graph.methods:
+            heat[entry] = Heat(weight, (entry,), ())
+            queue.append(entry)
+    while queue:
+        name = queue.popleft()
+        base = heat[name]
+        for edge in graph.scans[name].edges:
+            target = edge.target
+            if target in entry_weights and target in heat:
+                # Entries keep their seeded identity.
+                if entry_weights.get(target, 0.0) >= base.weight:
+                    continue
+            current = heat.get(target)
+            path = base.path + (target,)
+            conds = merge_conds(base.conds, edge.conds)
+            if current is None or (
+                current.weight < base.weight
+                or (current.weight == base.weight
+                    and (len(conds), len(path))
+                    < (len(current.conds), len(current.path)))
+            ):
+                heat[target] = Heat(base.weight, path, conds)
+                queue.append(target)
+    return heat

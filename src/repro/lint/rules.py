@@ -28,6 +28,12 @@ Each rule belongs to one *layer*:
   registered model classes a configuration selects: per-class call
   graphs from the framework entry points, attribute-reach dataflow,
   and a shard-safe/shard-unsafe/unknown verdict with evidence chains.
+* ``perf`` -- interprocedural hot-path audit (H-rules): heat weights
+  propagated from the per-event entry points through each model
+  class's call graph, flagging per-event allocation, repeated
+  attribute-chain loads, unguarded formatting, missing ``__slots__``
+  and friends only on provably hot paths -- optionally re-ranked by a
+  measured cProfile dump (``--profile``).
 
 A :class:`LintContext` carries the inputs and memoizes the expensive
 shared work (the schema walk, the network construction and channel
@@ -48,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.dataflow_rules import DataflowScan
     from repro.lint.graph import GraphAnalysis
     from repro.lint.partition_rules import PartitionAnalysis, PartitionScan
+    from repro.lint.perf_rules import PerfAnalysis
     from repro.lint.shard_rules import ShardAnalysis
 
 CONFIG_LAYER = "config"
@@ -56,6 +63,7 @@ DETERMINISM_LAYER = "determinism"
 DATAFLOW_LAYER = "dataflow"
 PARTITION_LAYER = "partition"
 SHARD_LAYER = "shard"
+PERF_LAYER = "perf"
 
 
 class LintRule:
@@ -85,6 +93,7 @@ class LintContext:
         manifest: Optional[dict] = None,
         partition_tolerance: Optional[float] = None,
         lookahead_threshold: int = 1,
+        profile_path: Optional[str] = None,
     ):
         self.settings = settings
         self.source_paths = list(source_paths or [])
@@ -97,6 +106,9 @@ class LintContext:
         self.manifest = manifest
         self.partition_tolerance = partition_tolerance
         self.lookahead_threshold = lookahead_threshold
+        #: Path to a cProfile ``.pstats`` dump; switches the perf layer
+        #: into measured-time correlation mode.
+        self.profile_path = profile_path
         self._schema_findings: Optional[List[Finding]] = None
         self._graph: Optional["GraphAnalysis"] = None
         self._scans: Optional[List["SourceScan"]] = None
@@ -104,6 +116,7 @@ class LintContext:
         self._partition: Optional["PartitionAnalysis"] = None
         self._partition_scans: Optional[List["PartitionScan"]] = None
         self._shard: Optional["ShardAnalysis"] = None
+        self._perf: Optional["PerfAnalysis"] = None
 
     # -- memoized analyses ---------------------------------------------------
 
@@ -171,6 +184,14 @@ class LintContext:
             self._shard = ShardAnalysis(self)
         return self._shard
 
+    def perf(self) -> "PerfAnalysis":
+        """Hot-path hazard audit of the configured model classes."""
+        if self._perf is None:
+            from repro.lint.perf_rules import PerfAnalysis
+
+            self._perf = PerfAnalysis(self)
+        return self._perf
+
 
 def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     """Every registered rule id, optionally restricted to one layer."""
@@ -179,6 +200,7 @@ def all_rule_ids(layer: Optional[str] = None) -> List[str]:
     import repro.lint.dataflow_rules  # noqa: F401
     import repro.lint.graph  # noqa: F401
     import repro.lint.partition_rules  # noqa: F401
+    import repro.lint.perf_rules  # noqa: F401
     import repro.lint.shard_rules  # noqa: F401
 
     ids = factory.names(LintRule)

@@ -150,6 +150,9 @@ class Router(PortedDevice):
         # _update_input_vcs, so the routing stage touches only inputs
         # with actual state changes instead of rescanning every cycle.
         self._route_pending: List[Tuple[int, int]] = []
+        # Recycled by _update_input_vcs (per-event H001: the drained
+        # list is reused instead of reallocated every routing pass).
+        self._route_pending_spare: List[Tuple[int, int]] = []
         # (port, vc) pairs routed but not yet granted an output VC;
         # losers stay queued for the next allocation cycle.
         self._alloc_pending: List[Tuple[int, int]] = []
@@ -292,7 +295,11 @@ class Router(PortedDevice):
         pending = self._route_pending
         if not pending:
             return
-        self._route_pending = []
+        # Double-buffer: appends made while routing (tail releases in
+        # the crossbar never overlap, but respond() hooks may retrigger)
+        # land in the spare; the drained list becomes next call's spare.
+        self._route_pending = self._route_pending_spare
+        self._route_pending_spare = pending
         input_vcs = self._input_vcs
         for port, vc in pending:
             state = input_vcs[port][vc]
@@ -321,6 +328,7 @@ class Router(PortedDevice):
             state.candidates = algorithm.respond(front.packet, vc)
             state.allocated = False
             self._alloc_pending.append((port, vc))
+        pending.clear()
 
     def _allocate_vcs(self) -> None:
         """Claim output VCs for routed packets (VC allocation stage).

@@ -126,6 +126,16 @@ class CreditSensor(CongestionSensor):
         # same tick (adaptive routing fans over many ports) hit the cache.
         self._memo_tick = -1
         self._memo: Dict[Tuple[int, int], float] = {}
+        # Hoisted query iterables: _status_uncached runs on the routing
+        # hot path (adaptive algorithms fan over every port), so the
+        # source list and the per-granularity VC views are built once
+        # here instead of per call (per-event H001/H003).
+        if self.granularity == GRANULARITY_PORT:
+            self._vc_views: Tuple[Tuple[int, ...], ...] = tuple(
+                tuple(range(num_vcs)) for _ in range(num_vcs)
+            )
+        else:
+            self._vc_views = tuple((v,) for v in range(num_vcs))
 
     # -- setup ----------------------------------------------------------------
 
@@ -196,12 +206,8 @@ class CreditSensor(CongestionSensor):
 
     def _status_uncached(self, port: int, vc: int) -> float:
         self._drain()
-        sources = (
-            [SOURCE_OUTPUT, SOURCE_DOWNSTREAM]
-            if self.source == SOURCE_BOTH
-            else [self.source]
-        )
-        vcs = range(self.num_vcs) if self.granularity == GRANULARITY_PORT else [vc]
+        sources = self._tracked
+        vcs = self._vc_views[vc]
         occupancy = 0.0
         capacity = 0.0
         for source in sources:

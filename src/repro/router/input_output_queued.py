@@ -27,7 +27,7 @@ from repro.core.event import Event
 from repro.net.buffer import FlitBuffer
 from repro.net.credit import CreditTracker
 from repro.net.phases import EPS_PIPELINE
-from repro.router.arbiter import Arbiter, create_arbiter
+from repro.router.arbiter import Arbiter, RoundRobinArbiter, create_arbiter
 from repro.router.base import Router
 from repro.router.congestion import SOURCE_OUTPUT
 from repro.router.crossbar_scheduler import FLIT_BUFFER, Bid, CrossbarScheduler
@@ -174,9 +174,17 @@ class InputOutputQueuedRouter(Router):
             out_port, out_vc = state.out_port, state.out_vc
             if oq_credits[out_port]._credits[out_vc] < 1:
                 return
-            scheduler._arbiters[out_port].arbitrate(
-                [(port * scheduler.num_vcs + vc, state.packet)], now
-            )
+            # The arbiter still rotates exactly as its single-request
+            # path would, without the per-event request-list allocation.
+            arbiter = scheduler._arbiters[out_port]
+            if type(arbiter) is RoundRobinArbiter:
+                arbiter._pointer = (
+                    port * scheduler.num_vcs + vc + 1
+                ) % arbiter.size
+            else:
+                arbiter.arbitrate(
+                    [(port * scheduler.num_vcs + vc, state.packet)], now
+                )
             grants = ((port, vc, out_port, out_vc),)
         else:
             bids = [

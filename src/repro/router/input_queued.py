@@ -71,6 +71,10 @@ class InputQueuedRouter(Router):
         # Ports with a non-empty staging register (drain worklist);
         # a port appears exactly once while its register is non-empty.
         self._staged_ports: List[int] = []
+        # Recycled by the drain stage (per-event list churn, cf. H001).
+        self._staged_ports_spare: List[int] = []
+        # Crossbar-bidder scratch; consumed within _run_crossbar only.
+        self._xbar_bidders: list = []
 
     def _downstream_credits(self, out_port: int, out_vc: int) -> int:
         return self.output_credit_tracker(out_port).available(out_vc)
@@ -103,8 +107,9 @@ class InputQueuedRouter(Router):
             committed = self._staging_committed
             flit_out = self._flit_out
             staging_regs = self._staging
-            keep = []
-            for port in self._staged_ports:
+            keep = self._staged_ports_spare
+            ports = self._staged_ports
+            for port in ports:
                 staging = staging_regs[port]
                 channel = flit_out[port]
                 if now >= channel._next_free_tick:
@@ -117,6 +122,8 @@ class InputQueuedRouter(Router):
                     if not staging:
                         continue
                 keep.append(port)
+            ports.clear()
+            self._staged_ports_spare = ports
             self._staged_ports = keep
 
         # Route new head packets, then claim output VCs.
@@ -148,8 +155,9 @@ class InputQueuedRouter(Router):
         flit_out = self._flit_out
         staging_regs = self._staging
         tick = self.simulator.tick
-        keep = []
-        for port in self._staged_ports:
+        keep = self._staged_ports_spare
+        ports = self._staged_ports
+        for port in ports:
             staging = staging_regs[port]
             channel = flit_out[port]
             if tick >= channel._next_free_tick:
@@ -162,13 +170,16 @@ class InputQueuedRouter(Router):
                 if not staging:
                     continue
             keep.append(port)
+        ports.clear()
+        self._staged_ports_spare = ports
         self._staged_ports = keep
 
     def _run_crossbar(self) -> None:
         input_vcs = self._input_vcs
         committed = self._staging_committed
         staging_limit = self._staging_limit
-        bidders = []
+        bidders = self._xbar_bidders
+        bidders.clear()
         out_mask = 0
         contested = False
         for port, vc in self._occupied_inputs:

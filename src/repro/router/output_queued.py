@@ -69,6 +69,9 @@ class OutputQueuedRouter(Router):
             create_arbiter(arbiter_settings, self.num_vcs)
             for _ in range(self.num_ports)
         ]
+        # Recycled request list for the drain stage (per-event H001:
+        # arbiters never retain the list they arbitrate over).
+        self._drain_requests: list = []
 
     def _finalize_arch(self) -> None:
         for port in range(self.num_ports):
@@ -125,7 +128,8 @@ class OutputQueuedRouter(Router):
                     arbiter.arbitrate([(0, flits[0].packet)], now)
                 flit = flits.popleft()
             else:
-                requests = []
+                requests = self._drain_requests
+                requests.clear()
                 for vc, queue in enumerate(port_queues):
                     flits = queue._flits
                     if flits and credits[vc] > 0:
